@@ -1,0 +1,279 @@
+"""Ablations over the design choices behind the paper's system.
+
+Not a paper table — these sweeps justify the defaults the paper (and
+this reproduction) uses:
+
+1. **Separator protection**: RePair's ``$`` exclusion costs almost
+   nothing in compression but is what makes per-row evaluation
+   (Lemma 3.3) possible.
+2. **min_frequency**: the classic threshold of 2 vs lazier settings.
+3. **Block count**: compression loss from splitting (cross-block
+   sharing disappears) vs the parallelism it enables.
+4. **CSM pruning**: none / local / global × k — the paper finds local
+   pruning best (Section 5.3).
+5. **PathCover vs PathCover+**: the paper reports the + variant always
+   worse; the sweep shows it here too.
+6. **rANS quantisation**: scale_bits vs blob size.
+7. **auto vs fixed per-block format** (the Section 4.2 avenue).
+
+Run as a script to print all sweeps; the pytest benchmarks time the
+representative operations.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.bench.reporting import format_table, ratio_pct
+from repro.core.blocked import BlockedMatrix
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import GrammarCompressedMatrix
+from repro.core.repair import repair_compress
+from repro.encoders.rans import ans_compress
+from repro.reorder.path_cover import path_cover_order, path_cover_plus_order
+from repro.reorder.similarity import (
+    column_similarity_matrix,
+    prune_global,
+    prune_local,
+)
+
+try:
+    from benchmarks.conftest import bench_matrix
+except ImportError:
+    from conftest import bench_matrix
+
+
+def _ratio(matrix, size: int) -> float:
+    return ratio_pct(size, matrix.size * 8)
+
+
+# -- 1. separator protection ----------------------------------------------------------
+
+
+def separator_ablation(name: str) -> list:
+    matrix = bench_matrix(name)
+    csrv = CSRVMatrix.from_dense(matrix)
+    protected = repair_compress(csrv.s, forbidden=0)
+    # Unprotected RePair (forbidden symbol that never occurs): rules may
+    # span row boundaries — smaller is possible, but the grammar no
+    # longer factors into per-row nonterminals.
+    unprotected = repair_compress(csrv.s, forbidden=-1)
+    return [
+        name,
+        protected.size,
+        unprotected.size,
+        f"{100 * (protected.size - unprotected.size) / unprotected.size:+.2f}%",
+    ]
+
+
+def test_separator_protection_overhead(benchmark, dataset_matrix):
+    s = CSRVMatrix.from_dense(dataset_matrix("census")).s
+    benchmark.pedantic(lambda: repair_compress(s, forbidden=0), rounds=1, iterations=1)
+
+
+# -- 2. min_frequency -----------------------------------------------------------------
+
+
+def min_frequency_ablation(name: str) -> list:
+    matrix = bench_matrix(name)
+    csrv = CSRVMatrix.from_dense(matrix)
+    row = [name]
+    for threshold in (2, 4, 8, 16):
+        grammar = repair_compress(csrv.s, min_frequency=threshold)
+        gm = GrammarCompressedMatrix.from_grammar(
+            grammar, csrv.values, csrv.shape, "re_ans"
+        )
+        row.append(_ratio(matrix, gm.size_bytes()))
+    return row
+
+
+# -- 3. block count -------------------------------------------------------------------
+
+
+def block_count_ablation(name: str) -> list:
+    matrix = bench_matrix(name)
+    row = [name]
+    for blocks in (1, 4, 16, 64):
+        bm = BlockedMatrix.compress(matrix, variant="re_ans", n_blocks=blocks)
+        row.append(_ratio(matrix, bm.size_bytes()))
+    return row
+
+
+@pytest.mark.parametrize("blocks", [1, 16])
+def test_blocked_compression_cost(benchmark, dataset_matrix, blocks):
+    matrix = dataset_matrix("covtype")
+    benchmark.pedantic(
+        lambda: BlockedMatrix.compress(matrix, variant="re_iv", n_blocks=blocks),
+        rounds=1,
+        iterations=1,
+    )
+
+
+# -- 4/5. pruning and PathCover variants ----------------------------------------------
+
+
+def pruning_ablation(name: str) -> list[list]:
+    matrix = bench_matrix(name)
+    csm = column_similarity_matrix(matrix)
+    rows = []
+    for label, pruned in (
+        ("none", csm),
+        ("local k=4", prune_local(csm, 4)),
+        ("local k=16", prune_local(csm, 16)),
+        ("global k=4", prune_global(csm, 4)),
+        ("global k=16", prune_global(csm, 16)),
+    ):
+        order = path_cover_order(pruned)
+        gm = GrammarCompressedMatrix.compress(
+            CSRVMatrix.from_dense(matrix, column_order=order), variant="re_ans"
+        )
+        rows.append([f"{name} {label}", _ratio(matrix, gm.size_bytes())])
+    return rows
+
+
+def pathcover_plus_ablation(name: str) -> list:
+    matrix = bench_matrix(name)
+    csm = prune_local(column_similarity_matrix(matrix), 16)
+    sizes = []
+    for algo in (path_cover_order, path_cover_plus_order):
+        order = algo(csm)
+        gm = GrammarCompressedMatrix.compress(
+            CSRVMatrix.from_dense(matrix, column_order=order), variant="re_ans"
+        )
+        sizes.append(_ratio(matrix, gm.size_bytes()))
+    return [name] + sizes
+
+
+def test_pathcover_plus_cost(benchmark, dataset_matrix):
+    csm = prune_local(column_similarity_matrix(dataset_matrix("census")), 16)
+    benchmark.pedantic(lambda: path_cover_plus_order(csm), rounds=3, iterations=1)
+
+
+# -- 6. rANS quantisation -------------------------------------------------------------
+
+
+def rans_scale_ablation(name: str) -> list:
+    matrix = bench_matrix(name)
+    csrv = CSRVMatrix.from_dense(matrix)
+    c = repair_compress(csrv.s).final
+    row = [name]
+    for scale_bits in (10, 12, 14):
+        row.append(len(ans_compress(c, scale_bits=scale_bits)))
+    return row
+
+
+def test_ans_encode_cost(benchmark, dataset_matrix):
+    c = repair_compress(CSRVMatrix.from_dense(dataset_matrix("census")).s).final
+    benchmark.pedantic(lambda: ans_compress(c), rounds=3, iterations=1)
+
+
+# -- 7b. intra-row reordering (the paper's future-work item) --------------------------
+
+
+def intra_row_ablation(name: str) -> list:
+    from repro.reorder.intra_row import reorder_within_rows
+
+    matrix = bench_matrix(name)
+    csrv = CSRVMatrix.from_dense(matrix)
+    row = [name]
+    for layout in ("original", "code", "frequency"):
+        source = csrv if layout == "original" else reorder_within_rows(csrv, layout)
+        gm = GrammarCompressedMatrix.compress(source, variant="re_ans")
+        row.append(_ratio(matrix, gm.size_bytes()))
+    return row
+
+
+# -- 7. auto vs fixed format ----------------------------------------------------------
+
+
+def auto_format_ablation(name: str) -> list:
+    matrix = bench_matrix(name)
+    row = [name]
+    for variant in ("csrv", "re_32", "re_iv", "re_ans", "auto"):
+        bm = BlockedMatrix.compress(matrix, variant=variant, n_blocks=16)
+        row.append(_ratio(matrix, bm.size_bytes()))
+    return row
+
+
+# -- script mode ----------------------------------------------------------------------
+
+
+def main() -> None:
+    datasets = ("census", "airline78", "covtype")
+
+    print(
+        format_table(
+            ["matrix", "|G| protected", "|G| unrestricted", "overhead"],
+            [separator_ablation(n) for n in datasets],
+            title="Ablation 1 — cost of protecting the $ separator in RePair",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["matrix", "f>=2", "f>=4", "f>=8", "f>=16"],
+            [min_frequency_ablation(n) for n in datasets],
+            title="Ablation 2 — re_ans size (% of dense) vs RePair pair threshold",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["matrix", "1 block", "4", "16", "64"],
+            [block_count_ablation(n) for n in datasets],
+            title="Ablation 3 — re_ans size (% of dense) vs row-block count",
+        )
+    )
+    print()
+    rows = []
+    for n in datasets:
+        rows.extend(pruning_ablation(n))
+    print(
+        format_table(
+            ["config", "re_ans % after PathCover"],
+            rows,
+            title="Ablation 4 — CSM pruning mode × k",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["matrix", "PathCover %", "PathCover+ %"],
+            [pathcover_plus_ablation(n) for n in datasets],
+            title="Ablation 5 — PathCover vs PathCover+ (paper: + never wins)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["matrix", "2^10", "2^12", "2^14"],
+            [rans_scale_ablation(n) for n in datasets],
+            title="Ablation 6 — ANS blob bytes vs probability quantisation",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["matrix", "csrv", "re_32", "re_iv", "re_ans", "auto"],
+            [auto_format_ablation(n) for n in datasets],
+            title="Ablation 7 — blockwise size (% of dense): fixed formats vs auto",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["matrix", "original", "intra-row code", "intra-row freq"],
+            [intra_row_ablation(n) for n in datasets],
+            title=(
+                "Ablation 8 — re_ans size (% of dense) with intra-row pair "
+                "reordering (paper future work)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

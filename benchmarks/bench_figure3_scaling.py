@@ -1,0 +1,102 @@
+"""Figure 3 — multithread scaling of re_iv and re_ans.
+
+The paper plots, for 4/8/12/16 threads, the ratio of peak memory and of
+running time against the single-thread version of the same algorithm.
+Expected shape: time ratio well below 1 and falling with threads (they
+measure speedups up to ~15×); memory ratio slightly above 1 and growing
+faster for re_ans (the per-block decoded ``C`` is transient per active
+thread).
+
+The pytest benchmarks time one iteration per thread count; script mode
+prints the two ratio series per dataset.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.harness import run_iterations
+from repro.bench.memory import peak_mvm_pct
+from repro.bench.reporting import format_table
+from repro.core.blocked import BlockedMatrix
+
+try:
+    from benchmarks.conftest import BENCH_ROWS, bench_matrix
+except ImportError:
+    from conftest import BENCH_ROWS, bench_matrix
+
+THREAD_COUNTS = (1, 4, 8, 12, 16)
+VARIANTS = ("re_ans", "re_iv")
+_ITERATIONS = 10
+
+
+# -- pytest benchmarks ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_scaling_iteration(benchmark, dataset_matrix, variant, threads):
+    matrix = dataset_matrix("census")
+    compressed = BlockedMatrix.compress(matrix, variant=variant, n_blocks=threads)
+
+    def one_iteration():
+        run_iterations(
+            compressed, iterations=1, threads=threads, parallel_model="simulated"
+        )
+
+    benchmark.pedantic(one_iteration, rounds=3, iterations=1, warmup_rounds=1)
+
+
+# -- script mode ----------------------------------------------------------------------
+
+
+def scaling_series(name: str, variant: str) -> tuple[list[float], list[float]]:
+    """(memory ratios, time ratios) vs the single-thread baseline."""
+    matrix = bench_matrix(name)
+    mems, times = [], []
+    for threads in THREAD_COUNTS:
+        compressed = BlockedMatrix.compress(
+            matrix, variant=variant, n_blocks=threads
+        )
+        result = run_iterations(
+            compressed, iterations=_ITERATIONS, threads=threads,
+            parallel_model="simulated",
+        )
+        mems.append(peak_mvm_pct(compressed, threads=threads))
+        times.append(result.seconds_per_iter)
+    mem_ratio = [m / mems[0] for m in mems]
+    time_ratio = [t / times[0] for t in times]
+    return mem_ratio, time_ratio
+
+
+def main() -> None:
+    for variant in VARIANTS:
+        rows_mem, rows_time = [], []
+        for name in BENCH_ROWS:
+            mem_ratio, time_ratio = scaling_series(name, variant)
+            rows_mem.append([name] + mem_ratio)
+            rows_time.append([name] + time_ratio)
+            print(f"  [{variant}/{name} done]", file=sys.stderr)
+        headers = ["matrix"] + [f"{t}t" for t in THREAD_COUNTS]
+        print(
+            format_table(
+                headers,
+                rows_mem,
+                title=f"Figure 3 (top, {variant}) — peak-memory ratio vs 1 thread",
+            )
+        )
+        print()
+        print(
+            format_table(
+                headers,
+                rows_time,
+                title=f"Figure 3 (bottom, {variant}) — time ratio vs 1 thread",
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

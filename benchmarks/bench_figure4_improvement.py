@@ -1,0 +1,85 @@
+"""Figure 4 — relative peak-memory improvement from column reordering.
+
+The paper plots ``(p_o − p_r) / p_o`` per dataset, where ``p_o`` and
+``p_r`` are the Eq. (4) peak memory of the original and the
+blockwise-reordered matrix (16 blocks, 16 threads) for re_iv and
+re_ans.  Expected shape: clear improvements on airline78 / covtype /
+census, ≈0 (or slightly negative) on susy and mnist2m.
+
+The pytest benchmark times the full reorder-and-compress pipeline;
+script mode prints the figure's two series.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.memory import peak_mvm_pct
+from repro.bench.reporting import format_table
+from repro.core.blocked import BlockedMatrix
+from repro.reorder.pipeline import compress_with_reordering
+
+try:
+    from benchmarks.conftest import BENCH_ROWS, bench_matrix
+except ImportError:
+    from conftest import BENCH_ROWS, bench_matrix
+
+N_BLOCKS = 16
+THREADS = 16
+
+
+def improvement_pct(matrix, variant: str) -> float:
+    """(p_o − p_r) / p_o in percent, as plotted in Figure 4."""
+    original = BlockedMatrix.compress(matrix, variant=variant, n_blocks=N_BLOCKS)
+    reordered = compress_with_reordering(
+        matrix, variant=variant, n_blocks=N_BLOCKS
+    ).matrix
+    p_o = peak_mvm_pct(original, threads=THREADS)
+    p_r = peak_mvm_pct(reordered, threads=THREADS)
+    return 100.0 * (p_o - p_r) / p_o
+
+
+# -- pytest benchmarks ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("variant", ["re_iv", "re_ans"])
+def test_reorder_pipeline_cost(benchmark, dataset_matrix, variant):
+    matrix = dataset_matrix("covtype")
+    benchmark.pedantic(
+        lambda: compress_with_reordering(matrix, variant=variant, n_blocks=N_BLOCKS),
+        rounds=1,
+        iterations=1,
+    )
+
+
+# -- script mode ----------------------------------------------------------------------
+
+
+def main() -> None:
+    rows = []
+    for name in BENCH_ROWS:
+        matrix = bench_matrix(name)
+        rows.append(
+            [
+                name,
+                improvement_pct(matrix, "re_iv"),
+                improvement_pct(matrix, "re_ans"),
+            ]
+        )
+        print(f"  [{name} done]", file=sys.stderr)
+    print(
+        format_table(
+            ["matrix", "re_iv improv %", "re_ans improv %"],
+            rows,
+            title=(
+                "Figure 4 — relative peak-memory improvement from "
+                "blockwise column reordering"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

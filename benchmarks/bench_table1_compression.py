@@ -1,0 +1,115 @@
+"""Table 1 — compression ratios of gzip, xz, csrv, re_32, re_iv, re_ans.
+
+The paper reports, for each of the seven matrices, the compressed size
+as a percentage of the dense ``rows × cols × 8`` representation.  The
+pytest benchmarks time the compressors; running this file as a script
+prints the full table with the paper's published numbers alongside.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.baselines import GzipMatrix, XzMatrix
+from repro.bench.reporting import format_table, ratio_pct
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import GrammarCompressedMatrix
+from repro.core.repair import repair_compress
+from repro.datasets import PROFILES
+
+try:  # script mode has no pytest plugins
+    from benchmarks.conftest import BENCH_ROWS, bench_matrix
+except ImportError:
+    from conftest import BENCH_ROWS, bench_matrix
+
+COLUMNS = ("gzip", "xz", "csrv", "re_32", "re_iv", "re_ans")
+
+
+def compression_ratios(name: str) -> dict[str, float]:
+    """All Table 1 ratios (percent of dense) for one dataset."""
+    matrix = bench_matrix(name)
+    dense = matrix.size * 8
+    csrv = CSRVMatrix.from_dense(matrix)
+    sizes = {
+        "gzip": GzipMatrix(matrix).size_bytes(),
+        "xz": XzMatrix(matrix).size_bytes(),
+        "csrv": csrv.size_bytes(),
+    }
+    grammar = repair_compress(csrv.s)
+    for variant in ("re_32", "re_iv", "re_ans"):
+        gm = GrammarCompressedMatrix.from_grammar(
+            grammar, csrv.values, csrv.shape, variant
+        )
+        sizes[variant] = gm.size_bytes()
+    return {k: ratio_pct(v, dense) for k, v in sizes.items()}
+
+
+# -- pytest benchmarks: time each compressor on a representative input --------------
+
+
+@pytest.mark.parametrize("name", ["census", "airline78"])
+def test_gzip_compression(benchmark, dataset_matrix, name):
+    matrix = dataset_matrix(name)
+    benchmark(lambda: GzipMatrix(matrix))
+
+
+@pytest.mark.parametrize("name", ["census", "airline78"])
+def test_xz_compression(benchmark, dataset_matrix, name):
+    matrix = dataset_matrix(name)
+    benchmark(lambda: XzMatrix(matrix))
+
+
+@pytest.mark.parametrize("name", ["census", "airline78"])
+def test_csrv_encoding(benchmark, dataset_matrix, name):
+    matrix = dataset_matrix(name)
+    benchmark(lambda: CSRVMatrix.from_dense(matrix))
+
+
+@pytest.mark.parametrize("name", ["census", "airline78", "covtype"])
+def test_repair_compression(benchmark, dataset_matrix, name):
+    s = CSRVMatrix.from_dense(dataset_matrix(name)).s
+    benchmark.pedantic(lambda: repair_compress(s), rounds=1, iterations=1)
+
+
+def test_variant_encoding_overhead(benchmark, dataset_matrix):
+    csrv = CSRVMatrix.from_dense(dataset_matrix("census"))
+    grammar = repair_compress(csrv.s)
+    benchmark(
+        lambda: GrammarCompressedMatrix.from_grammar(
+            grammar, csrv.values, csrv.shape, "re_ans"
+        )
+    )
+
+
+# -- script mode: print the full Table 1 --------------------------------------------
+
+
+def main() -> None:
+    rows = []
+    for name in BENCH_ROWS:
+        measured = compression_ratios(name)
+        paper = PROFILES[name].paper_ratios
+        row = [name]
+        for col in COLUMNS:
+            row.append(measured[col])
+            row.append(f"({paper[col]:.2f})")
+        rows.append(row)
+    headers = ["matrix"]
+    for col in COLUMNS:
+        headers += [col, "paper"]
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Table 1 — compressed size as % of dense "
+                "(measured on scaled synthetics; paper values in parentheses)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Table 2 — peak memory and time per Eq. (4) iteration.
+
+The paper's Table 2 reports, per dataset: single-thread re_iv / re_ans,
+and 16-thread csrv / re_32 / re_iv / re_ans — peak memory as % of the
+dense size plus mean seconds per iteration of the alternating
+multiplication workload.
+
+The pytest benchmarks time one Eq. (4) iteration per (variant, threads)
+configuration; script mode prints the full table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.harness import run_iterations
+from repro.bench.memory import peak_mvm_pct
+from repro.bench.reporting import format_table
+from repro.core.blocked import BlockedMatrix
+
+try:
+    from benchmarks.conftest import BENCH_ROWS, TIMING_DATASETS, bench_matrix
+except ImportError:
+    from conftest import BENCH_ROWS, TIMING_DATASETS, bench_matrix
+
+#: (variant, threads/blocks) configurations of the paper's Table 2.
+CONFIGS = (
+    ("re_iv", 1),
+    ("re_ans", 1),
+    ("csrv", 16),
+    ("re_32", 16),
+    ("re_iv", 16),
+    ("re_ans", 16),
+)
+
+_ITERATIONS = 5
+
+
+def _compressed(matrix, variant: str, threads: int) -> BlockedMatrix:
+    return BlockedMatrix.compress(
+        matrix, variant=variant, n_blocks=max(1, threads)
+    )
+
+
+# -- pytest benchmarks ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", TIMING_DATASETS)
+@pytest.mark.parametrize("variant,threads", CONFIGS, ids=[f"{v}-{t}t" for v, t in CONFIGS])
+def test_eq4_iteration(benchmark, dataset_matrix, name, variant, threads):
+    matrix = dataset_matrix(name)
+    compressed = _compressed(matrix, variant, threads)
+
+    def one_iteration():
+        run_iterations(
+            compressed, iterations=1, threads=threads, parallel_model="simulated"
+        )
+
+    benchmark.pedantic(one_iteration, rounds=3, iterations=1, warmup_rounds=1)
+
+
+# -- script mode ----------------------------------------------------------------------
+
+
+def main() -> None:
+    headers = ["matrix"]
+    for variant, threads in CONFIGS:
+        headers += [f"{variant}/{threads}t mem%", "s/iter"]
+    rows = []
+    for name in BENCH_ROWS:
+        matrix = bench_matrix(name)
+        row = [name]
+        for variant, threads in CONFIGS:
+            compressed = _compressed(matrix, variant, threads)
+            result = run_iterations(
+                compressed,
+                iterations=_ITERATIONS,
+                threads=threads,
+                parallel_model="simulated",
+            )
+            row.append(peak_mvm_pct(compressed, threads=threads))
+            row.append(f"{result.seconds_per_iter:.4f}")
+        rows.append(row)
+        print(f"  [{name} done]", file=sys.stderr)
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Table 2 — modelled peak memory (% of dense) and measured "
+                f"seconds/iteration over {_ITERATIONS} Eq.(4) iterations"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

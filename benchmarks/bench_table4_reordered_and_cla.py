@@ -1,0 +1,147 @@
+"""Table 4 — blockwise-reordered re_iv/re_ans vs CLA.
+
+The paper's Table 4 applies the Section 5.3 recipe — 16 row blocks,
+per-block reordering with the better of PathCover/MWM (k = 16, locally
+pruned), blockwise compression — and reports size, peak memory and time
+per iteration; the last columns give CLA's size/peak/time on the same
+workload.  Expected shape: the grammar variants compress better than
+CLA on most datasets and run the iteration faster.
+
+The pytest benchmarks time the Eq. (4) iteration for the reordered
+grammar matrices and for CLA; script mode prints the full table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bench.harness import run_iterations
+from repro.bench.memory import peak_mvm_pct
+from repro.bench.reporting import format_table, ratio_pct
+from repro.cla import CLAMatrix
+from repro.reorder.pipeline import compress_with_reordering
+
+try:
+    from benchmarks.conftest import BENCH_ROWS, TIMING_DATASETS, bench_matrix
+except ImportError:
+    from conftest import BENCH_ROWS, TIMING_DATASETS, bench_matrix
+
+N_BLOCKS = 16
+THREADS = 16
+_ITERATIONS = 5
+#: The paper amortises CLA's (re-run-every-execution) compression over
+#: its 500-iteration workload; we follow the same accounting.
+PAPER_ITERATIONS = 500
+
+
+# -- pytest benchmarks ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def reordered(dataset_matrix):
+    cache = {}
+
+    def get(name: str, variant: str):
+        key = (name, variant)
+        if key not in cache:
+            cache[key] = compress_with_reordering(
+                dataset_matrix(name), variant=variant, n_blocks=N_BLOCKS
+            ).matrix
+        return cache[key]
+
+    return get
+
+
+@pytest.mark.parametrize("name", TIMING_DATASETS)
+@pytest.mark.parametrize("variant", ["re_iv", "re_ans"])
+def test_reordered_eq4_iteration(benchmark, reordered, name, variant):
+    compressed = reordered(name, variant)
+    benchmark.pedantic(
+        lambda: run_iterations(
+            compressed, iterations=1, threads=THREADS, parallel_model="simulated"
+        ),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("name", TIMING_DATASETS)
+def test_cla_eq4_iteration(benchmark, dataset_matrix, name):
+    # CLA's group kernels are single big vectorised ops; sequential
+    # execution is its natural Python form (GIL, see bench.parallel).
+    cla = CLAMatrix.compress(dataset_matrix(name))
+    benchmark.pedantic(
+        lambda: run_iterations(cla, iterations=1, threads=1),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("name", TIMING_DATASETS)
+def test_cla_compression(benchmark, dataset_matrix, name):
+    matrix = dataset_matrix(name)
+    benchmark.pedantic(
+        lambda: CLAMatrix.compress(matrix), rounds=1, iterations=1
+    )
+
+
+# -- script mode ----------------------------------------------------------------------
+
+
+def main() -> None:
+    import time
+
+    headers = [
+        "matrix",
+        "re_iv size%", "mem%", "s/iter",
+        "re_ans size%", "mem%", "s/iter",
+        "CLA size%", "mem%", "s/iter",
+    ]
+    rows = []
+    for name in BENCH_ROWS:
+        matrix = bench_matrix(name)
+        dense = matrix.size * 8
+        row = [name]
+        for variant in ("re_iv", "re_ans"):
+            result = compress_with_reordering(
+                matrix, variant=variant, n_blocks=N_BLOCKS
+            )
+            res = run_iterations(
+                result.matrix,
+                iterations=_ITERATIONS,
+                threads=THREADS,
+                parallel_model="simulated",
+            )
+            row.append(ratio_pct(result.matrix.size_bytes(), dense))
+            row.append(peak_mvm_pct(result.matrix, threads=THREADS))
+            row.append(f"{res.seconds_per_iter:.4f}")
+        # CLA recompresses at every execution (Section 5.4); amortise
+        # the compression over the paper's 500-iteration workload.
+        t0 = time.perf_counter()
+        cla = CLAMatrix.compress(matrix)
+        compress_seconds = time.perf_counter() - t0
+        res = run_iterations(cla, iterations=_ITERATIONS, threads=1)
+        cla_time = res.seconds_per_iter + compress_seconds / PAPER_ITERATIONS
+        row.append(ratio_pct(cla.size_bytes(), dense))
+        row.append(peak_mvm_pct(cla, threads=THREADS))
+        row.append(f"{cla_time:.4f}")
+        rows.append(row)
+        print(f"  [{name} done]", file=sys.stderr)
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Table 4 — blockwise-reordered grammar compression vs CLA "
+                f"({N_BLOCKS} blocks, {THREADS} threads)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

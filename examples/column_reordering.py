@@ -1,0 +1,72 @@
+"""Column reordering for better compression (Section 5 of the paper).
+
+Run with::
+
+    python examples/column_reordering.py
+
+Builds the column-similarity matrix of a dataset whose correlated
+columns are scattered, reorders with each of the four algorithms, and
+shows the compression each permutation buys — then runs the paper's
+Table 4 pipeline (per-block reordering, best-of selection).
+"""
+
+import time
+
+import numpy as np
+
+from repro import CSRVMatrix, GrammarCompressedMatrix, get_dataset
+from repro.reorder import compress_with_reordering, reorder_columns
+from repro.reorder.similarity import column_similarity_matrix, prune_local
+
+
+def main() -> None:
+    dataset = get_dataset("covtype", n_rows=2500)
+    matrix = np.asarray(dataset.matrix)
+    dense_bytes = matrix.size * 8
+    print(f"dataset: {dataset.name} {matrix.shape}")
+
+    baseline = GrammarCompressedMatrix.compress(matrix, variant="re_ans")
+    print(
+        f"\nno reordering    : {baseline.size_bytes():7,} bytes "
+        f"({100 * baseline.size_bytes() / dense_bytes:5.2f}% of dense)"
+    )
+
+    # The similarity matrix drives all four algorithms; k=16 locally
+    # pruned is the paper's default.
+    csm = prune_local(column_similarity_matrix(matrix), k=16)
+    strongest = np.unravel_index(np.argmax(csm), csm.shape)
+    print(
+        f"similarity matrix: strongest pair = columns {strongest}, "
+        f"score {csm[strongest]:.3f}"
+    )
+
+    for method in ("pathcover", "pathcover+", "mwm", "lkh"):
+        start = time.perf_counter()
+        order = reorder_columns(matrix, method=method, k=16)
+        elapsed = time.perf_counter() - start
+        reordered = GrammarCompressedMatrix.compress(
+            CSRVMatrix.from_dense(matrix, column_order=order), variant="re_ans"
+        )
+        print(
+            f"{method:<17}: {reordered.size_bytes():7,} bytes "
+            f"({100 * reordered.size_bytes() / dense_bytes:5.2f}% of dense) "
+            f"[reorder took {elapsed:.3f}s]"
+        )
+
+    # The full Table 4 pipeline: 8 row blocks, per-block permutations,
+    # best of PathCover/MWM by total compressed size.
+    result = compress_with_reordering(matrix, variant="re_ans", n_blocks=8)
+    print(
+        f"\nblockwise pipeline: {result.matrix.size_bytes():,} bytes, "
+        f"winner = {result.method}, per-method sizes = {result.sizes_by_method}"
+    )
+
+    # Key property (Section 5): permutations never need storing —
+    # multiplication is unchanged because pairs keep original columns.
+    x = np.random.default_rng(1).standard_normal(matrix.shape[1])
+    assert np.allclose(result.matrix.right_multiply(x), matrix @ x)
+    print("reordered matrix multiplies identically            ✓")
+
+
+if __name__ == "__main__":
+    main()

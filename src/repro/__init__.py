@@ -1,0 +1,75 @@
+"""repro — grammar-compressed matrices with compressed-domain MVM.
+
+A faithful, self-contained Python reproduction of
+
+    Ferragina, Gagie, Köppl, Manzini, Navarro, Striani, Tosoni.
+    "Improving Matrix-vector Multiplication via Lossless
+    Grammar-Compressed Matrices".  VLDB 2022 (arXiv:2203.14540).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import GrammarCompressedMatrix
+>>> M = np.kron(np.eye(4), np.full((8, 3), 2.5))   # repetitive matrix
+>>> gm = GrammarCompressedMatrix.compress(M, variant="re_ans")
+>>> x = np.ones(M.shape[1])
+>>> bool(np.allclose(gm.right_multiply(x), M @ x))
+True
+>>> gm.size_bytes() < M.nbytes
+True
+
+Package map
+-----------
+- :mod:`repro.core` — CSRV, RePair, grammar MVM, blocked matrices;
+- :mod:`repro.encoders` — bit-packed vectors and the rANS coder;
+- :mod:`repro.baselines` — dense / CSR / CSR-IV / gzip / xz;
+- :mod:`repro.cla` — the Compressed Linear Algebra baseline;
+- :mod:`repro.reorder` — column-similarity scoring and the four
+  reordering algorithms;
+- :mod:`repro.datasets` — synthetic stand-ins for the paper's seven
+  evaluation matrices;
+- :mod:`repro.bench` — the Eq. (4) workload harness and memory model;
+- :mod:`repro.io` — lossless serialization.
+"""
+
+from repro.baselines import CSRIVMatrix, CSRMatrix, DenseMatrix, GzipMatrix, XzMatrix
+from repro.bench import run_iterations
+from repro.cla import CLAMatrix
+from repro.core import (
+    BlockedMatrix,
+    CSRVMatrix,
+    Grammar,
+    GrammarCompressedMatrix,
+    empirical_entropy,
+    repair_compress,
+)
+from repro.datasets import get_dataset, list_datasets
+from repro.errors import ReproError
+from repro.io import load_matrix, save_matrix
+from repro.reorder import compress_with_reordering, reorder_columns
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRVMatrix",
+    "Grammar",
+    "repair_compress",
+    "GrammarCompressedMatrix",
+    "BlockedMatrix",
+    "empirical_entropy",
+    "DenseMatrix",
+    "CSRMatrix",
+    "CSRIVMatrix",
+    "GzipMatrix",
+    "XzMatrix",
+    "CLAMatrix",
+    "reorder_columns",
+    "compress_with_reordering",
+    "get_dataset",
+    "list_datasets",
+    "run_iterations",
+    "save_matrix",
+    "load_matrix",
+    "ReproError",
+    "__version__",
+]

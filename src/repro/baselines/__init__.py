@@ -1,0 +1,21 @@
+"""Baseline matrix representations the paper compares against.
+
+- :class:`repro.baselines.dense.DenseMatrix` — the uncompressed
+  ``rows × cols × 8`` byte layout (the 100% reference of every ratio).
+- :class:`repro.baselines.csr.CSRMatrix` /
+  :class:`repro.baselines.csr.CSRIVMatrix` — classic compressed sparse
+  row and its indirect-value variant (Section 2 background).
+- :class:`repro.baselines.gzip_xz.GzipMatrix` /
+  :class:`repro.baselines.gzip_xz.XzMatrix` — general-purpose
+  compressors over the raw matrix bytes (Table 1 columns ``gzip`` and
+  ``xz``); they must fully decompress before any multiplication, which
+  is the behaviour the paper contrasts with.
+
+The CLA baseline lives in its own subpackage :mod:`repro.cla`.
+"""
+
+from repro.baselines.csr import CSRIVMatrix, CSRMatrix
+from repro.baselines.dense import DenseMatrix
+from repro.baselines.gzip_xz import GzipMatrix, XzMatrix
+
+__all__ = ["DenseMatrix", "CSRMatrix", "CSRIVMatrix", "GzipMatrix", "XzMatrix"]

@@ -1,0 +1,58 @@
+"""The uncompressed dense baseline.
+
+The paper expresses every compression ratio as a percentage of the
+"uncompressed and full representation" of ``rows × cols × 8`` bytes
+(8-byte doubles).  :class:`DenseMatrix` is that reference point, with
+the same ``right_multiply`` / ``left_multiply`` / ``size_bytes``
+interface as all other representations so harness code is uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+
+class DenseMatrix:
+    """A plain float64 matrix with the common representation interface."""
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise MatrixFormatError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
+        self._m = np.ascontiguousarray(matrix)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)``."""
+        return self._m.shape  # type: ignore[return-value]
+
+    def to_dense(self) -> np.ndarray:
+        """Return (a copy of) the stored matrix."""
+        return self._m.copy()
+
+    def right_multiply(self, x: np.ndarray) -> np.ndarray:
+        """``y = M x`` via BLAS."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size != self._m.shape[1]:
+            raise MatrixFormatError(
+                f"x has length {x.size}, expected {self._m.shape[1]}"
+            )
+        return self._m @ x
+
+    def left_multiply(self, y: np.ndarray) -> np.ndarray:
+        """``xᵗ = yᵗ M`` via BLAS."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != self._m.shape[0]:
+            raise MatrixFormatError(
+                f"y has length {y.size}, expected {self._m.shape[0]}"
+            )
+        return y @ self._m
+
+    def size_bytes(self) -> int:
+        """``rows × cols × 8`` — the denominator of all paper ratios."""
+        return int(self._m.shape[0] * self._m.shape[1] * 8)
+
+    def __repr__(self) -> str:
+        return f"DenseMatrix(shape={self._m.shape})"

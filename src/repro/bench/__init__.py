@@ -1,0 +1,24 @@
+"""Benchmark harness: the Eq. (4) workload, memory model and reporting.
+
+- :mod:`repro.bench.harness` — the alternating left/right
+  multiplication loop the paper times (Eq. 4), with per-iteration
+  timing and correctness checking against a dense reference;
+- :mod:`repro.bench.memory` — the analytic peak-memory model used for
+  the paper's "peak mem %" columns (see DESIGN.md's substitution
+  table for why the model replaces Unix ``time`` RSS measurements);
+- :mod:`repro.bench.reporting` — plain-text table rendering shared by
+  the ``benchmarks/`` scripts.
+"""
+
+from repro.bench.harness import IterationResult, run_iterations
+from repro.bench.memory import peak_mvm_bytes, representation_bytes
+from repro.bench.reporting import format_table, ratio_pct
+
+__all__ = [
+    "run_iterations",
+    "IterationResult",
+    "representation_bytes",
+    "peak_mvm_bytes",
+    "format_table",
+    "ratio_pct",
+]

@@ -1,0 +1,165 @@
+"""The paper's benchmark workload: alternating left/right MVM (Eq. 4).
+
+Each iteration computes::
+
+    y_i = M x_i,    z_iᵗ = y_iᵗ M,    x_{i+1} = z_i / ‖z_i‖_∞
+
+which "mimics the most costly operations of the conjugate gradient
+method" (Section 4.2).  The harness times the loop, optionally checks
+every iterate against a dense reference, and reports the modelled peak
+memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.memory import peak_mvm_bytes, peak_mvm_pct
+from repro.errors import MatrixFormatError
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Outcome of :func:`run_iterations`.
+
+    Attributes
+    ----------
+    iterations:
+        Number of Eq. (4) iterations executed.
+    seconds_per_iter:
+        Mean wall-clock seconds per iteration.
+    total_seconds:
+        Total loop time.
+    final_x:
+        The final normalised iterate ``x``.
+    peak_bytes / peak_pct:
+        Modelled peak memory (absolute and as % of the dense size).
+    max_error:
+        Largest infinity-norm deviation from the dense reference
+        (``nan`` when no reference was requested).
+    """
+
+    iterations: int
+    seconds_per_iter: float
+    total_seconds: float
+    final_x: np.ndarray
+    peak_bytes: int
+    peak_pct: float
+    max_error: float
+
+
+def _multiply(matrix, direction: str, vec: np.ndarray, threads: int) -> np.ndarray:
+    """Dispatch supporting both threaded and single-representation APIs."""
+    method = getattr(matrix, f"{direction}_multiply")
+    try:
+        return method(vec, threads=threads)
+    except TypeError:
+        return method(vec)
+
+
+def run_iterations(
+    matrix,
+    iterations: int = 10,
+    threads: int = 1,
+    x0: np.ndarray | None = None,
+    reference: np.ndarray | None = None,
+    parallel_model: str = "threads",
+) -> IterationResult:
+    """Run the Eq. (4) loop on any matrix representation.
+
+    Parameters
+    ----------
+    matrix:
+        Any object with ``right_multiply`` / ``left_multiply`` and
+        ``shape`` (all representations in this package qualify).
+    iterations:
+        Loop count (the paper uses 500; benchmarks here use less —
+        the per-iteration mean is what is compared).
+    threads:
+        Worker threads passed through to blocked/CLA representations.
+    x0:
+        Starting vector; defaults to all ones.
+    reference:
+        Optional dense matrix; when given, every ``y`` and ``z`` is
+        checked against numpy and the max deviation reported.
+    parallel_model:
+        ``"threads"`` uses a real thread pool (CPython's GIL caps its
+        speedup — see :mod:`repro.bench.parallel`); ``"simulated"``
+        multiplies blocks sequentially and reports the LPT-schedule
+        makespan on ``threads`` workers, the model the multithread
+        benchmarks use to reproduce the paper's Figure 3/Table 2
+        timing shape.  Only blocked matrices distinguish the two.
+    """
+    n, m = matrix.shape
+    if iterations < 1:
+        raise MatrixFormatError(f"iterations must be >= 1, got {iterations}")
+    if parallel_model not in ("threads", "simulated"):
+        raise MatrixFormatError(
+            f"unknown parallel_model {parallel_model!r}; "
+            "expected 'threads' or 'simulated'"
+        )
+    simulate = parallel_model == "simulated" and hasattr(matrix, "blocks")
+    x = np.ones(m, dtype=np.float64) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if x.size != m:
+        raise MatrixFormatError(f"x0 has length {x.size}, expected {m}")
+    max_error = float("nan")
+    if reference is not None:
+        reference = np.asarray(reference, dtype=np.float64)
+        max_error = 0.0
+
+    # Timing noise control: a GC pause landing in one block's window
+    # would otherwise dominate the simulated makespan (max over blocks).
+    import gc
+
+    simulated_iters: list[float] = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            if simulate:
+                from repro.bench.parallel import (
+                    lpt_makespan,
+                    simulated_left_multiply,
+                    simulated_right_multiply,
+                )
+
+                y, d_right = simulated_right_multiply(matrix, x)
+                z, d_left = simulated_left_multiply(matrix, y)
+                simulated_iters.append(
+                    lpt_makespan(d_right, threads) + lpt_makespan(d_left, threads)
+                )
+            else:
+                y = _multiply(matrix, "right", x, threads)
+                z = _multiply(matrix, "left", y, threads)
+            if reference is not None:
+                max_error = max(
+                    max_error,
+                    float(np.max(np.abs(y - reference @ x), initial=0.0)),
+                    float(np.max(np.abs(z - y @ reference), initial=0.0)),
+                )
+            norm = float(np.max(np.abs(z), initial=0.0))
+            x = z / norm if norm > 0 else z
+        total = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    if simulate:
+        # Median over iterations: robust to residual scheduler noise.
+        per_iter = float(np.median(simulated_iters))
+    else:
+        per_iter = total / iterations
+    reported = per_iter * iterations
+
+    return IterationResult(
+        iterations=iterations,
+        seconds_per_iter=reported / iterations,
+        total_seconds=total,
+        final_x=x,
+        peak_bytes=peak_mvm_bytes(matrix, threads),
+        peak_pct=peak_mvm_pct(matrix, threads),
+        max_error=max_error,
+    )

@@ -1,0 +1,69 @@
+"""Measured (tracemalloc) memory profiling, complementing the model.
+
+:mod:`repro.bench.memory` gives the deterministic, paper-layout
+*analytic* model; this module provides the *measured* counterpart: it
+runs a callable under :mod:`tracemalloc` and reports the peak Python
+heap delta.  Numpy array allocations dominate the delta, so on this
+package's pure-numpy kernels the measurement is meaningful — but it is
+machine- and interpreter-sensitive, which is why the benchmark tables
+use the analytic model and this module is offered as a diagnostic.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class MemoryMeasurement:
+    """Peak/current heap delta (bytes) around a measured call."""
+
+    peak_bytes: int
+    retained_bytes: int
+    result: object
+
+
+def measure_peak(fn: Callable, *args, **kwargs) -> MemoryMeasurement:
+    """Run ``fn(*args, **kwargs)`` under tracemalloc.
+
+    Returns the peak additional bytes allocated during the call and the
+    bytes still retained when it returned (the result's own footprint).
+
+    Note: nesting inside an already-tracing context is supported; the
+    surrounding trace is restored afterwards.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    base_current, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        result = fn(*args, **kwargs)
+        current, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return MemoryMeasurement(
+        peak_bytes=max(0, peak - base_current),
+        retained_bytes=max(0, current - base_current),
+        result=result,
+    )
+
+
+def measured_mvm_peak(matrix, x=None) -> int:
+    """Measured peak heap bytes of one right multiplication.
+
+    Parameters
+    ----------
+    matrix:
+        Any representation with ``right_multiply`` and ``shape``.
+    x:
+        Operand vector; defaults to all ones.
+    """
+    import numpy as np
+
+    if x is None:
+        x = np.ones(matrix.shape[1], dtype=np.float64)
+    return measure_peak(matrix.right_multiply, x).peak_bytes

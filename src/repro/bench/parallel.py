@@ -1,0 +1,88 @@
+"""Simulated parallel execution for timing benchmarks.
+
+The paper's multithread timings (Figure 3, Tables 2 and 4) measure a C
+prototype whose row-block multiplications run truly concurrently.  In
+CPython the numpy gather/scatter kernels this package uses hold the
+GIL, so OS threads cannot exhibit the algorithmic parallelism — the
+blocks are independent, the substrate isn't (see DESIGN.md's
+substitution table).
+
+This module therefore *simulates* the parallel executor: each block is
+multiplied sequentially and its wall-clock time recorded, then the
+per-block durations are scheduled onto ``t`` workers with the classic
+Longest-Processing-Time (LPT) greedy rule; the schedule's makespan is
+the simulated parallel time.  LPT is what a work-stealing pool
+converges to for independent tasks, and makespan is exactly the
+quantity the paper's per-iteration timings capture.
+
+Numerical results are unaffected — only the *reported* time differs
+between the real-thread and simulated modes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+
+def lpt_makespan(durations: Sequence[float], workers: int) -> float:
+    """Makespan of the LPT greedy schedule on ``workers`` machines.
+
+    >>> lpt_makespan([4.0, 3.0, 2.0, 1.0], 2)
+    5.0
+    >>> lpt_makespan([1.0, 1.0, 1.0], 1)
+    3.0
+    """
+    if workers < 1:
+        raise MatrixFormatError(f"workers must be >= 1, got {workers}")
+    if not len(durations):
+        return 0.0
+    loads = [0.0] * min(workers, len(durations))
+    heapq.heapify(loads)
+    for d in sorted(durations, reverse=True):
+        heapq.heappush(loads, heapq.heappop(loads) + float(d))
+    return max(loads)
+
+
+def timed_block_map(blocks: Sequence, fn: Callable) -> tuple[list, list[float]]:
+    """Apply ``fn`` to every block sequentially, timing each call.
+
+    Returns ``(results, per_block_seconds)``.
+    """
+    results = []
+    durations = []
+    for i, block in enumerate(blocks):
+        start = time.perf_counter()
+        results.append(fn(block, i))
+        durations.append(time.perf_counter() - start)
+    return results, durations
+
+
+def simulated_right_multiply(blocked, x: np.ndarray) -> tuple[np.ndarray, list[float]]:
+    """``y = M x`` over a BlockedMatrix with per-block timing."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    parts, durations = timed_block_map(
+        blocked.blocks, lambda b, _i: b.right_multiply(x)
+    )
+    return np.concatenate(parts), durations
+
+
+def simulated_left_multiply(blocked, y: np.ndarray) -> tuple[np.ndarray, list[float]]:
+    """``xᵗ = yᵗ M`` over a BlockedMatrix with per-block timing."""
+    y = np.asarray(y, dtype=np.float64).ravel()
+    offsets = np.concatenate(
+        [[0], np.cumsum([b.shape[0] for b in blocked.blocks])]
+    )
+    parts, durations = timed_block_map(
+        blocked.blocks,
+        lambda b, i: b.left_multiply(y[offsets[i] : offsets[i + 1]]),
+    )
+    out = np.zeros(blocked.shape[1], dtype=np.float64)
+    for p in parts:
+        out += p
+    return out, durations

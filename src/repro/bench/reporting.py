@@ -1,0 +1,55 @@
+"""Plain-text table rendering for the benchmark scripts.
+
+Keeps the ``benchmarks/`` output visually close to the paper's tables:
+one row per dataset, aligned columns, ratios as percentages of the
+dense representation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ratio_pct(part: float, whole: float) -> float:
+    """``part / whole`` as a percentage (0 when the whole is empty)."""
+    return 100.0 * part / whole if whole else 0.0
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str | None = None,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``floatfmt``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) if i == 0 else h.rjust(widths[i])
+        for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in text_rows:
+        lines.append(
+            "  ".join(
+                c.ljust(widths[i]) if i == 0 else c.rjust(widths[i])
+                for i, c in enumerate(row)
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""The CLA compressed matrix: planned column groups + compressed MVM.
+
+:class:`CLAMatrix` ties the planner and the group formats together:
+
+1. :func:`repro.cla.planner.plan_column_groups` decides which columns
+   are co-coded;
+2. each planned group is encoded in every concrete format and the
+   smallest is kept (CLA's greedy format selection, done exactly here
+   because our matrices are laptop-scale);
+3. multiplications iterate the groups — optionally on a thread pool,
+   mirroring CLA's multithreaded executor — and accumulate into shared
+   output vectors.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.cla.colgroup import GROUP_FORMATS
+from repro.cla.planner import plan_column_groups
+from repro.errors import MatrixFormatError
+
+
+class CLAMatrix:
+    """A matrix compressed with CLA-style column co-coding."""
+
+    def __init__(self, groups: list, shape: tuple[int, int]):
+        if not groups:
+            raise MatrixFormatError("CLAMatrix requires at least one group")
+        self._groups = list(groups)
+        self._shape = (int(shape[0]), int(shape[1]))
+        covered = sorted(c for g in self._groups for c in g.columns.tolist())
+        if covered != list(range(self._shape[1])):
+            raise MatrixFormatError(
+                "column groups must cover every column exactly once"
+            )
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def compress(
+        cls,
+        matrix: np.ndarray,
+        sample_rows: int = 4096,
+        max_group_size: int = 8,
+        window: int = 12,
+        seed: int = 0,
+    ) -> "CLAMatrix":
+        """Plan, co-code and encode ``matrix``.
+
+        See :func:`repro.cla.planner.plan_column_groups` for the
+        planning parameters.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise MatrixFormatError(
+                f"expected a 2-D matrix, got ndim={matrix.ndim}"
+            )
+        plans = plan_column_groups(
+            matrix,
+            sample_rows=sample_rows,
+            max_group_size=max_group_size,
+            window=window,
+            seed=seed,
+        )
+        groups = []
+        for plan in plans:
+            candidates = [
+                fmt.from_dense(matrix, list(plan.columns))
+                for fmt in GROUP_FORMATS
+            ]
+            groups.append(min(candidates, key=lambda g: g.size_bytes()))
+        return cls(groups, matrix.shape)
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)``."""
+        return self._shape
+
+    @property
+    def groups(self) -> list:
+        """The encoded column groups."""
+        return list(self._groups)
+
+    def format_summary(self) -> dict[str, int]:
+        """Count of groups per format name (planning diagnostics)."""
+        out: dict[str, int] = {}
+        for g in self._groups:
+            out[g.format_name] = out.get(g.format_name, 0) + 1
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"CLAMatrix(shape={self._shape}, groups={len(self._groups)}, "
+            f"formats={self.format_summary()})"
+        )
+
+    def size_bytes(self) -> int:
+        """Total bytes over all encoded groups."""
+        return sum(g.size_bytes() for g in self._groups)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the represented matrix (lossless)."""
+        out = np.zeros(self._shape, dtype=np.float64)
+        for g in self._groups:
+            out[:, g.columns] = g.to_dense_block()
+        return out
+
+    # -- multiplication ----------------------------------------------------------------
+
+    def right_multiply(self, x: np.ndarray, threads: int = 1) -> np.ndarray:
+        """``y = M x`` over the compressed groups."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size != self._shape[1]:
+            raise MatrixFormatError(
+                f"x has length {x.size}, expected {self._shape[1]}"
+            )
+        if threads <= 1 or len(self._groups) == 1:
+            y = np.zeros(self._shape[0], dtype=np.float64)
+            for g in self._groups:
+                g.right_mvm(x, y)
+            return y
+        partials = self._parallel_apply(
+            lambda g: self._right_partial(g, x), threads
+        )
+        return np.sum(partials, axis=0)
+
+    def left_multiply(self, y: np.ndarray, threads: int = 1) -> np.ndarray:
+        """``xᵗ = yᵗ M`` over the compressed groups."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != self._shape[0]:
+            raise MatrixFormatError(
+                f"y has length {y.size}, expected {self._shape[0]}"
+            )
+        if threads <= 1 or len(self._groups) == 1:
+            x = np.zeros(self._shape[1], dtype=np.float64)
+            for g in self._groups:
+                g.left_mvm(y, x)
+            return x
+        partials = self._parallel_apply(
+            lambda g: self._left_partial(g, y), threads
+        )
+        return np.sum(partials, axis=0)
+
+    def _right_partial(self, group, x: np.ndarray) -> np.ndarray:
+        y = np.zeros(self._shape[0], dtype=np.float64)
+        group.right_mvm(x, y)
+        return y
+
+    def _left_partial(self, group, y: np.ndarray) -> np.ndarray:
+        x = np.zeros(self._shape[1], dtype=np.float64)
+        group.left_mvm(y, x)
+        return x
+
+    def _parallel_apply(self, fn, threads: int) -> list:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [pool.submit(fn, g) for g in self._groups]
+            return [f.result() for f in futures]

@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the available synthetic datasets and their profiles.
+``compress IN.npy OUT.gcmx``
+    Compress a dense ``.npy`` matrix (options: variant, blocks,
+    reordering).
+``info FILE.gcmx``
+    Describe a compressed matrix file.
+``decompress FILE.gcmx OUT.npy``
+    Expand back to a dense ``.npy`` file.
+``multiply FILE.gcmx X.npy``
+    Compute ``y = Mx`` (or ``xᵗ = yᵗM`` with ``--left``) from the
+    compressed file and print/save the result.
+``bench NAME``
+    Run the Eq. (4) workload on one synthetic dataset and report
+    size/time/peak-memory for every representation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.bench.harness import run_iterations
+from repro.bench.memory import peak_mvm_pct
+from repro.bench.reporting import format_table, ratio_pct
+from repro.core.blocked import BLOCK_FORMATS, BlockedMatrix
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import GrammarCompressedMatrix
+from repro.datasets import PROFILES, get_dataset, list_datasets
+from repro.io.serialize import load_matrix, save_matrix
+from repro.reorder.pipeline import compress_with_reordering
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for name in list_datasets():
+        p = PROFILES[name]
+        rows.append(
+            [
+                name,
+                f"{p.paper_rows:,}",
+                p.paper_cols,
+                f"{p.paper_density:.1%}",
+                f"{p.paper_distinct:,}",
+                p.default_rows,
+            ]
+        )
+    print(
+        format_table(
+            ["name", "paper rows", "cols", "density", "distinct", "synthetic rows"],
+            rows,
+            title="Synthetic stand-ins for the paper's evaluation matrices",
+        )
+    )
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    matrix = np.load(args.input)
+    if args.reorder:
+        result = compress_with_reordering(
+            matrix, variant=args.variant, n_blocks=args.blocks
+        )
+        compressed = result.matrix
+        print(f"reordering winner: {result.method}")
+    elif args.blocks > 1:
+        compressed = BlockedMatrix.compress(
+            matrix, variant=args.variant, n_blocks=args.blocks
+        )
+    else:
+        compressed = GrammarCompressedMatrix.compress(matrix, variant=args.variant)
+    save_matrix(compressed, args.output)
+    dense = matrix.size * 8
+    print(
+        f"{args.input} ({matrix.shape[0]}x{matrix.shape[1]}) -> {args.output}: "
+        f"{compressed.size_bytes():,} bytes "
+        f"({ratio_pct(compressed.size_bytes(), dense):.2f}% of dense)"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    matrix = load_matrix(args.file)
+    n, m = matrix.shape
+    print(f"file    : {args.file}")
+    print(f"type    : {type(matrix).__name__}")
+    print(f"shape   : {n} x {m}")
+    print(f"bytes   : {matrix.size_bytes():,} "
+          f"({ratio_pct(matrix.size_bytes(), 8 * n * m):.2f}% of dense)")
+    if isinstance(matrix, GrammarCompressedMatrix):
+        print(f"variant : {matrix.variant}")
+        print(f"|C|     : {matrix.c_length:,}")
+        print(f"|R|     : {matrix.n_rules:,}")
+    if isinstance(matrix, BlockedMatrix):
+        kinds = {}
+        for b in matrix.blocks:
+            label = getattr(b, "variant", "csrv")
+            kinds[label] = kinds.get(label, 0) + 1
+        print(f"blocks  : {matrix.n_blocks} ({kinds})")
+    print(f"peak mem: {peak_mvm_pct(matrix, threads=1):.2f}% of dense during MVM")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    matrix = load_matrix(args.file)
+    dense = matrix.to_dense()
+    np.save(args.output, dense)
+    print(f"{args.file} -> {args.output}: {dense.shape[0]}x{dense.shape[1]} doubles")
+    return 0
+
+
+def _cmd_multiply(args) -> int:
+    matrix = load_matrix(args.file)
+    vector = np.load(args.vector)
+    if args.left:
+        result = matrix.left_multiply(vector)
+    else:
+        result = matrix.right_multiply(vector)
+    if args.output:
+        np.save(args.output, result)
+        print(f"result ({result.size} entries) saved to {args.output}")
+    else:
+        np.set_printoptions(threshold=20)
+        print(result)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    dataset = get_dataset(args.name, n_rows=args.rows)
+    matrix = np.asarray(dataset.matrix)
+    dense = matrix.size * 8
+    rows = []
+    for variant in ("csrv", "re_32", "re_iv", "re_ans", "auto"):
+        compressed = BlockedMatrix.compress(
+            matrix, variant=variant, n_blocks=args.blocks
+        )
+        result = run_iterations(
+            compressed, iterations=args.iterations, threads=args.threads,
+            parallel_model="simulated",
+        )
+        rows.append(
+            [
+                variant,
+                ratio_pct(compressed.size_bytes(), dense),
+                peak_mvm_pct(compressed, threads=args.threads),
+                f"{1000 * result.seconds_per_iter:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "size %", "peak mem %", "ms/iter"],
+            rows,
+            title=(
+                f"{args.name} ({matrix.shape[0]}x{matrix.shape[1]}), "
+                f"{args.blocks} blocks, {args.threads} simulated threads"
+            ),
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Grammar-compressed matrices with compressed-domain MVM",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list synthetic datasets").set_defaults(
+        fn=_cmd_datasets
+    )
+
+    p = sub.add_parser("compress", help="compress a dense .npy matrix")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--variant", default="re_ans", choices=BLOCK_FORMATS)
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--reorder", action="store_true", help="Section 5.3 pipeline")
+    p.set_defaults(fn=_cmd_compress)
+
+    p = sub.add_parser("info", help="describe a compressed file")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_info)
+
+    p = sub.add_parser("decompress", help="expand to a dense .npy file")
+    p.add_argument("file")
+    p.add_argument("output")
+    p.set_defaults(fn=_cmd_decompress)
+
+    p = sub.add_parser("multiply", help="y = Mx from the compressed file")
+    p.add_argument("file")
+    p.add_argument("vector", help=".npy vector")
+    p.add_argument("--left", action="store_true", help="compute xᵗ = yᵗM")
+    p.add_argument("--output", help="save result as .npy")
+    p.set_defaults(fn=_cmd_multiply)
+
+    p = sub.add_parser("bench", help="run Eq.(4) on a synthetic dataset")
+    p.add_argument("name", choices=list_datasets())
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--blocks", type=int, default=8)
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--iterations", type=int, default=10)
+    p.set_defaults(fn=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

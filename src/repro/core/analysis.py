@@ -1,0 +1,131 @@
+"""Grammar analysis utilities: the paper's Definitions 3.5–3.9 as code.
+
+These functions expose the bookkeeping behind the left-multiplication
+proof — which rows use which nonterminal (``rows``), and the aggregated
+vector weights (``sum_y``) — plus practical diagnostics (rule usage
+counts, expansion statistics, compression summaries) that a user of the
+library needs when judging whether grammar compression is paying off on
+their data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.csrv import ROW_SEPARATOR
+from repro.core.grammar import Grammar
+
+
+def rule_usage_counts(grammar: Grammar) -> np.ndarray:
+    """How many times each nonterminal occurs in ``C`` and in rule
+    right-hand sides (the multiplicity that drives Lemma 3.9)."""
+    q = grammar.n_rules
+    counts = np.zeros(q, dtype=np.int64)
+    for source in (grammar.final, grammar.rules.ravel()):
+        nts = source[source >= grammar.nt_base] - grammar.nt_base
+        if nts.size:
+            counts += np.bincount(nts, minlength=q)
+    return counts
+
+
+def nonterminal_rows(grammar: Grammar) -> list[set[int]]:
+    """``rows(N_j)`` for every rule (Definition 3.8): the matrix rows
+    whose derivation uses ``N_j``.
+
+    Computed top-down like the left-multiplication algorithm: rows of a
+    rule are the union of the rows of every occurrence context.
+    """
+    q = grammar.n_rules
+    rows: list[set[int]] = [set() for _ in range(q)]
+    # Seed from the final string.
+    is_sep = grammar.final == ROW_SEPARATOR
+    row_of_pos = np.cumsum(is_sep) - is_sep
+    for pos in np.flatnonzero(grammar.final >= grammar.nt_base):
+        rows[grammar.final[pos] - grammar.nt_base].add(int(row_of_pos[pos]))
+    # Propagate down the DAG (rules reference strictly smaller ids).
+    for j in range(q - 1, -1, -1):
+        for side in grammar.rules[j]:
+            if side >= grammar.nt_base:
+                rows[side - grammar.nt_base] |= rows[j]
+    return rows
+
+
+def sum_y(grammar: Grammar, y: np.ndarray) -> np.ndarray:
+    """``sum_y(N_j)`` for every rule (Definition 3.8): direct evaluation
+    of ``Σ_{ℓ ∈ rows(N_j)} y[ℓ]``, with multiplicity.
+
+    Unlike :func:`nonterminal_rows` (which returns row *sets*), this is
+    the multiset quantity the left-multiplication algorithm accumulates:
+    a rule used twice in one row counts that row's ``y`` twice, exactly
+    as Lemma 3.9's recurrence does.
+    """
+    q = grammar.n_rules
+    y = np.asarray(y, dtype=np.float64)
+    w = np.zeros(q, dtype=np.float64)
+    is_sep = grammar.final == ROW_SEPARATOR
+    row_of_pos = np.cumsum(is_sep) - is_sep
+    nt_pos = np.flatnonzero(grammar.final >= grammar.nt_base)
+    if nt_pos.size:
+        w += np.bincount(
+            grammar.final[nt_pos] - grammar.nt_base,
+            weights=y[row_of_pos[nt_pos]],
+            minlength=q,
+        )
+    for j in range(q - 1, -1, -1):
+        for side in grammar.rules[j]:
+            if side >= grammar.nt_base:
+                w[side - grammar.nt_base] += w[j]
+    return w
+
+
+@dataclass(frozen=True)
+class GrammarStats:
+    """Summary statistics of a grammar (for reports and planning).
+
+    Attributes
+    ----------
+    n_rules, final_length, size:
+        ``|R|``, ``|C|`` and the grammar size ``|C| + 2|R|``.
+    depth:
+        Maximum derivation height.
+    max_expansion:
+        Longest rule expansion (how much one nonterminal covers).
+    mean_expansion:
+        Average rule expansion length.
+    expanded_length:
+        ``|S|`` — length of the sequence the grammar represents.
+    compaction:
+        ``expanded_length / size`` — how many input symbols each stored
+        symbol stands for (≥ ~1 means compression is working).
+    """
+
+    n_rules: int
+    final_length: int
+    size: int
+    depth: int
+    max_expansion: int
+    mean_expansion: float
+    expanded_length: int
+    compaction: float
+
+
+def grammar_stats(grammar: Grammar) -> GrammarStats:
+    """Compute :class:`GrammarStats` for a grammar."""
+    lengths = grammar.expansion_lengths()
+    is_nt = grammar.final >= grammar.nt_base
+    expanded = int(grammar.final.size - np.count_nonzero(is_nt))
+    if is_nt.any():
+        expanded += int(lengths[grammar.final[is_nt] - grammar.nt_base].sum())
+    size = grammar.size
+    return GrammarStats(
+        n_rules=grammar.n_rules,
+        final_length=int(grammar.final.size),
+        size=size,
+        depth=grammar.depth,
+        max_expansion=int(lengths.max()) if lengths.size else 0,
+        mean_expansion=float(lengths.mean()) if lengths.size else 0.0,
+        expanded_length=expanded,
+        compaction=expanded / size if size else 0.0,
+    )

@@ -1,0 +1,307 @@
+"""Row-block partitioned matrices with multithreaded multiplication.
+
+Section 4.1 of the paper splits an ``r × c`` matrix into ``b`` blocks of
+``⌈r/b⌉`` consecutive rows, grammar-compresses each block independently
+(sharing the single distinct-value array ``V``), and runs the per-block
+multiplications in parallel:
+
+- right multiplication is ``b`` independent block multiplications whose
+  results are concatenated;
+- left multiplication is ``b`` independent block multiplications whose
+  resulting row vectors are summed.
+
+:class:`BlockedMatrix` supports the grammar variants *and* plain
+``csrv`` blocks (the uncompressed baseline of Table 2), so the paper's
+multithreaded comparisons all run through the same code path.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import GrammarCompressedMatrix, VARIANTS
+from repro.errors import MatrixFormatError
+
+#: Representations accepted by :meth:`BlockedMatrix.compress`.
+#: ``auto`` picks the smallest of all formats per block — the Section
+#: 4.2 avenue ("use different compressors to compress different blocks,
+#: or use the CSRV representation for the blocks which are hard to
+#: compress").
+BLOCK_FORMATS = ("csrv",) + VARIANTS + ("auto",)
+
+
+class BlockedMatrix:
+    """A matrix stored as independently compressed row blocks.
+
+    Parameters
+    ----------
+    blocks:
+        Per-block representations (``CSRVMatrix`` or
+        ``GrammarCompressedMatrix``), covering consecutive row ranges.
+    shape:
+        Overall ``(n_rows, n_cols)``.
+    """
+
+    def __init__(self, blocks: list, shape: tuple[int, int]):
+        if not blocks:
+            raise MatrixFormatError("BlockedMatrix requires at least one block")
+        self._blocks = list(blocks)
+        self._shape = (int(shape[0]), int(shape[1]))
+        rows = sum(b.shape[0] for b in self._blocks)
+        if rows != self._shape[0]:
+            raise MatrixFormatError(
+                f"blocks cover {rows} rows, expected {self._shape[0]}"
+            )
+        offsets = np.zeros(len(self._blocks) + 1, dtype=np.int64)
+        np.cumsum([b.shape[0] for b in self._blocks], out=offsets[1:])
+        self._offsets = offsets
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def compress(
+        cls,
+        source: CSRVMatrix | np.ndarray,
+        variant: str = "re_32",
+        n_blocks: int = 1,
+        min_frequency: int = 2,
+        max_rules: int | None = None,
+        column_orders: list | None = None,
+    ) -> "BlockedMatrix":
+        """Partition ``source`` into row blocks and compress each one.
+
+        Parameters
+        ----------
+        variant:
+            One of :data:`BLOCK_FORMATS` (``csrv`` keeps blocks
+            uncompressed in CSRV form).
+        n_blocks:
+            Number of row blocks ``b``.
+        column_orders:
+            Optional per-block column permutations (Section 5.3: each
+            block may be reordered with a different permutation).  Only
+            valid when ``source`` is a dense array; length must equal
+            the number of blocks.
+        """
+        if variant not in BLOCK_FORMATS:
+            raise MatrixFormatError(
+                f"unknown block format {variant!r}; expected one of {BLOCK_FORMATS}"
+            )
+        if column_orders is not None:
+            if isinstance(source, CSRVMatrix):
+                raise MatrixFormatError(
+                    "per-block column_orders require a dense source"
+                )
+            return cls._compress_reordered(
+                np.asarray(source), variant, n_blocks, column_orders,
+                min_frequency, max_rules,
+            )
+        csrv = (
+            source
+            if isinstance(source, CSRVMatrix)
+            else CSRVMatrix.from_dense(np.asarray(source))
+        )
+        parts = csrv.split_rows(n_blocks)
+        blocks = [cls._compress_block(p, variant, min_frequency, max_rules) for p in parts]
+        return cls(blocks, csrv.shape)
+
+    @classmethod
+    def _compress_reordered(
+        cls,
+        dense: np.ndarray,
+        variant: str,
+        n_blocks: int,
+        column_orders: list,
+        min_frequency: int,
+        max_rules: int | None,
+    ) -> "BlockedMatrix":
+        # One global CSRV first, so every block shares the single value
+        # array V and its code space (Section 4.1); the per-block
+        # permutations then only re-lay-out pairs inside each row.
+        csrv = CSRVMatrix.from_dense(dense)
+        parts = csrv.split_rows(n_blocks)
+        if len(column_orders) != len(parts):
+            raise MatrixFormatError(
+                f"got {len(column_orders)} column orders for {len(parts)} blocks"
+            )
+        blocks = [
+            cls._compress_block(
+                part.with_column_order(order), variant, min_frequency, max_rules
+            )
+            for part, order in zip(parts, column_orders)
+        ]
+        return cls(blocks, dense.shape)
+
+    @staticmethod
+    def _compress_block(
+        part: CSRVMatrix, variant: str, min_frequency: int, max_rules: int | None
+    ):
+        if variant == "csrv":
+            return part
+        if variant == "auto":
+            return BlockedMatrix._compress_block_auto(part, min_frequency, max_rules)
+        return GrammarCompressedMatrix.compress(
+            part, variant=variant, min_frequency=min_frequency, max_rules=max_rules
+        )
+
+    @staticmethod
+    def _compress_block_auto(
+        part: CSRVMatrix, min_frequency: int, max_rules: int | None
+    ):
+        """Per-block format selection (Section 4.2).
+
+        RePair runs once; the block keeps whichever physical form is
+        smallest — one of the three grammar encodings, or plain CSRV
+        when the block is too irregular for the grammar to pay off.
+        The shared array ``V`` is excluded from the comparison since
+        every candidate references the same one.
+        """
+        from repro.core.repair import repair_compress
+
+        grammar = repair_compress(
+            part.s, min_frequency=min_frequency, max_rules=max_rules
+        )
+        best = part
+        best_bytes = 4 * int(part.s.size)
+        for variant in VARIANTS:
+            candidate = GrammarCompressedMatrix.from_grammar(
+                grammar, part.values, part.shape, variant
+            )
+            parts = candidate.size_breakdown()
+            candidate_bytes = parts["C"] + parts["R"]
+            if candidate_bytes < best_bytes:
+                best, best_bytes = candidate, candidate_bytes
+        return best
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)``."""
+        return self._shape
+
+    @property
+    def blocks(self) -> list:
+        """The per-block representations (consecutive row ranges)."""
+        return list(self._blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of row blocks."""
+        return len(self._blocks)
+
+    def __repr__(self) -> str:
+        kind = type(self._blocks[0]).__name__
+        return (
+            f"BlockedMatrix(shape={self._shape}, n_blocks={self.n_blocks}, "
+            f"block_type={kind})"
+        )
+
+    def size_bytes(self) -> int:
+        """Total compressed bytes over all blocks.
+
+        ``V`` is shared in the paper's layout, so its bytes are counted
+        once even though every block object holds a reference to it.
+        """
+        total = 0
+        v_counted = False
+        for block in self._blocks:
+            if isinstance(block, GrammarCompressedMatrix):
+                parts = block.size_breakdown()
+                total += parts["C"] + parts["R"]
+                if not v_counted:
+                    total += parts["V"]
+                    v_counted = True
+            else:
+                total += 4 * int(block.s.size)
+                if not v_counted:
+                    total += 8 * int(block.values.size)
+                    v_counted = True
+        return total
+
+    def to_dense(self) -> np.ndarray:
+        """Expand all blocks back to one dense matrix (lossless)."""
+        return np.vstack([b.to_dense() for b in self._blocks])
+
+    # -- multiplication ----------------------------------------------------------------
+
+    def right_multiply(self, x: np.ndarray, threads: int = 1) -> np.ndarray:
+        """Compute ``y = M x``; blocks run on up to ``threads`` workers."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size != self._shape[1]:
+            raise MatrixFormatError(
+                f"x has length {x.size}, expected {self._shape[1]}"
+            )
+        parts = self._map_blocks(lambda b: b.right_multiply(x), threads)
+        return np.concatenate(parts)
+
+    def left_multiply(self, y: np.ndarray, threads: int = 1) -> np.ndarray:
+        """Compute ``xᵗ = yᵗ M``; per-block row vectors are summed."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if y.size != self._shape[0]:
+            raise MatrixFormatError(
+                f"y has length {y.size}, expected {self._shape[0]}"
+            )
+        slices = [
+            y[self._offsets[i] : self._offsets[i + 1]]
+            for i in range(self.n_blocks)
+        ]
+        parts = self._map_blocks_indexed(
+            lambda b, i: b.left_multiply(slices[i]), threads
+        )
+        out = np.zeros(self._shape[1], dtype=np.float64)
+        for p in parts:
+            out += p
+        return out
+
+    def right_multiply_matrix(self, x_block: np.ndarray, threads: int = 1) -> np.ndarray:
+        """Compute ``Y = M X`` for an ``(m, k)`` block of vectors."""
+        x_block = np.asarray(x_block, dtype=np.float64)
+        if x_block.ndim == 1:
+            x_block = x_block[:, None]
+        if x_block.shape[0] != self._shape[1]:
+            raise MatrixFormatError(
+                f"x block has shape {x_block.shape}, expected "
+                f"({self._shape[1]}, k)"
+            )
+        parts = self._map_blocks(lambda b: b.right_multiply_matrix(x_block), threads)
+        return np.vstack(parts)
+
+    def left_multiply_matrix(self, y_block: np.ndarray, threads: int = 1) -> np.ndarray:
+        """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors."""
+        y_block = np.asarray(y_block, dtype=np.float64)
+        if y_block.ndim == 1:
+            y_block = y_block[:, None]
+        if y_block.shape[0] != self._shape[0]:
+            raise MatrixFormatError(
+                f"y block has shape {y_block.shape}, expected "
+                f"({self._shape[0]}, k)"
+            )
+        slices = [
+            y_block[self._offsets[i] : self._offsets[i + 1]]
+            for i in range(self.n_blocks)
+        ]
+        parts = self._map_blocks_indexed(
+            lambda b, i: b.left_multiply_matrix(slices[i]), threads
+        )
+        out = np.zeros((self._shape[1], y_block.shape[1]), dtype=np.float64)
+        for p in parts:
+            out += p
+        return out
+
+    def _map_blocks(self, fn, threads: int) -> list:
+        return self._map_blocks_indexed(lambda b, _i: fn(b), threads)
+
+    def _map_blocks_indexed(self, fn, threads: int) -> list:
+        if threads < 1:
+            raise MatrixFormatError(f"threads must be >= 1, got {threads}")
+        if threads == 1 or self.n_blocks == 1:
+            return [fn(b, i) for i, b in enumerate(self._blocks)]
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [
+                pool.submit(fn, b, i) for i, b in enumerate(self._blocks)
+            ]
+            return [f.result() for f in futures]

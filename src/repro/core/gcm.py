@@ -1,0 +1,290 @@
+"""Grammar-compressed matrices: the ``re_32`` / ``re_iv`` / ``re_ans`` family.
+
+Section 4 of the paper derives three physical encodings from the RePair
+output ``(C, R, V)``:
+
+``re_32``
+    ``C`` and ``R`` stored as plain 32-bit integer arrays.  Fastest,
+    largest.  The multiplication engine is built once and cached — the
+    stored arrays *are* the working form.
+``re_iv``
+    ``C`` and ``R`` bit-packed at ``1 + ⌊log₂ N_max⌋`` bits per symbol
+    (sdsl ``int_vector`` style, :class:`repro.encoders.IntVector`).
+    Every multiplication first unpacks the arrays (vectorised), paying
+    the access overhead the paper observes for this variant.
+``re_ans``
+    ``R`` bit-packed as above; ``C`` entropy-coded with the
+    large-alphabet rANS coder (:mod:`repro.encoders.rans`).  Every
+    multiplication decodes ``C`` symbol by symbol first — the paper's
+    explanation for ``re_ans`` being the smallest but slowest variant.
+
+All variants store ``V`` as raw 8-byte doubles, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.csrv import CSRVMatrix
+from repro.core.grammar import Grammar
+from repro.core.multiply import MvmEngine
+from repro.core.repair import repair_compress
+from repro.encoders.int_vector import IntVector, bits_required
+from repro.encoders.rans import ans_compress, ans_decompress
+from repro.errors import MatrixFormatError
+
+#: The physical encodings implemented (paper Section 4).
+VARIANTS = ("re_32", "re_iv", "re_ans")
+
+
+class GrammarCompressedMatrix:
+    """A matrix compressed as ``(C, R, V)`` with compressed-domain MVM.
+
+    Build instances with :meth:`compress`; the constructor is the
+    low-level entry point used by deserialization.
+
+    Parameters
+    ----------
+    variant:
+        One of :data:`VARIANTS`.
+    shape:
+        ``(n_rows, n_cols)`` of the represented matrix.
+    values:
+        The distinct-value array ``V``.
+    nt_base:
+        First nonterminal id of the grammar.
+    c_storage, r_storage:
+        Variant-specific physical storage for ``C`` and ``R``:
+        ``np.ndarray[uint32]`` for ``re_32``, :class:`IntVector` for
+        ``re_iv`` (and for ``R`` of ``re_ans``), ``bytes`` for the
+        ANS-coded ``C`` of ``re_ans``.
+    """
+
+    def __init__(
+        self,
+        variant: str,
+        shape: tuple[int, int],
+        values: np.ndarray,
+        nt_base: int,
+        c_storage,
+        r_storage,
+        c_length: int,
+        n_rules: int,
+    ):
+        if variant not in VARIANTS:
+            raise MatrixFormatError(
+                f"unknown variant {variant!r}; expected one of {VARIANTS}"
+            )
+        self._variant = variant
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._values = np.ascontiguousarray(values, dtype=np.float64)
+        self._nt_base = int(nt_base)
+        self._c_storage = c_storage
+        self._r_storage = r_storage
+        self._c_length = int(c_length)
+        self._n_rules = int(n_rules)
+        self._engine: MvmEngine | None = None
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def compress(
+        cls,
+        source: CSRVMatrix | np.ndarray,
+        variant: str = "re_32",
+        min_frequency: int = 2,
+        max_rules: int | None = None,
+    ) -> "GrammarCompressedMatrix":
+        """Grammar-compress a matrix (dense array or CSRV form).
+
+        Runs the separator-aware RePair of Section 3 over the CSRV
+        sequence ``S`` and stores the output in the requested physical
+        encoding.
+        """
+        csrv = (
+            source
+            if isinstance(source, CSRVMatrix)
+            else CSRVMatrix.from_dense(np.asarray(source))
+        )
+        grammar = repair_compress(
+            csrv.s, min_frequency=min_frequency, max_rules=max_rules
+        )
+        return cls.from_grammar(grammar, csrv.values, csrv.shape, variant)
+
+    @classmethod
+    def from_grammar(
+        cls,
+        grammar: Grammar,
+        values: np.ndarray,
+        shape: tuple[int, int],
+        variant: str = "re_32",
+    ) -> "GrammarCompressedMatrix":
+        """Wrap an existing grammar in the requested physical encoding."""
+        c = grammar.final
+        r_flat = grammar.rules.ravel()
+        if variant == "re_32":
+            c_storage = c.astype(np.uint32)
+            r_storage = r_flat.astype(np.uint32)
+        elif variant == "re_iv":
+            width = bits_required(grammar.max_symbol)
+            c_storage = IntVector(c, width=width)
+            r_storage = IntVector(r_flat, width=width)
+        elif variant == "re_ans":
+            width = bits_required(grammar.max_symbol)
+            c_storage = ans_compress(c)
+            r_storage = IntVector(r_flat, width=width)
+        else:
+            raise MatrixFormatError(
+                f"unknown variant {variant!r}; expected one of {VARIANTS}"
+            )
+        return cls(
+            variant,
+            shape,
+            values,
+            grammar.nt_base,
+            c_storage,
+            r_storage,
+            c_length=int(c.size),
+            n_rules=grammar.n_rules,
+        )
+
+    # -- accessors ------------------------------------------------------------------
+
+    @property
+    def variant(self) -> str:
+        """Physical encoding name (``re_32``, ``re_iv`` or ``re_ans``)."""
+        return self._variant
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n_rows, n_cols)``."""
+        return self._shape
+
+    @property
+    def values(self) -> np.ndarray:
+        """The distinct-value array ``V`` (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def nt_base(self) -> int:
+        """First nonterminal id."""
+        return self._nt_base
+
+    @property
+    def n_rules(self) -> int:
+        """Number of grammar rules ``|R|``."""
+        return self._n_rules
+
+    @property
+    def c_length(self) -> int:
+        """Length of the final string ``|C|``."""
+        return self._c_length
+
+    def __repr__(self) -> str:
+        n, m = self._shape
+        return (
+            f"GrammarCompressedMatrix(variant={self._variant!r}, "
+            f"shape=({n}, {m}), |C|={self._c_length}, |R|={self._n_rules})"
+        )
+
+    # -- decoding --------------------------------------------------------------------
+
+    def decode_grammar(self) -> Grammar:
+        """Materialise the logical grammar ``(C, R)`` from storage.
+
+        For ``re_32`` this is a cheap cast; for ``re_iv`` a vectorised
+        unpack; for ``re_ans`` a sequential ANS decode of ``C`` — the
+        per-multiplication cost structure of the paper's variants.
+        """
+        if self._variant == "re_32":
+            c = self._c_storage.astype(np.int64)
+            r = self._r_storage.astype(np.int64)
+        elif self._variant == "re_iv":
+            c = self._c_storage.to_numpy()
+            r = self._r_storage.to_numpy()
+        else:  # re_ans
+            c = ans_decompress(self._c_storage)
+            r = self._r_storage.to_numpy()
+        return Grammar(
+            nt_base=self._nt_base, rules=r.reshape(-1, 2), final=c
+        )
+
+    def decompress(self) -> CSRVMatrix:
+        """Fully expand back to the CSRV representation (lossless)."""
+        return CSRVMatrix(self.decode_grammar().expand(), self._values, self._shape)
+
+    def to_dense(self) -> np.ndarray:
+        """Fully expand back to a dense float64 matrix (lossless)."""
+        return self.decompress().to_dense()
+
+    # -- multiplication ----------------------------------------------------------------
+
+    def _get_engine(self) -> MvmEngine:
+        """Return an executable schedule for this block.
+
+        ``re_32`` caches the engine (its storage is already the decoded
+        working form); ``re_iv``/``re_ans`` rebuild it from a fresh
+        decode on every call, charging the decode cost per
+        multiplication exactly as the paper describes.
+        """
+        if self._variant == "re_32":
+            if self._engine is None:
+                self._engine = MvmEngine(self.decode_grammar(), self._shape[1])
+            return self._engine
+        return MvmEngine(self.decode_grammar(), self._shape[1])
+
+    def right_multiply(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``y = M x`` directly on the compressed form."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        return self._get_engine().right(self._values, x)
+
+    def left_multiply(self, y: np.ndarray) -> np.ndarray:
+        """Compute ``xᵗ = yᵗ M`` directly on the compressed form."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        return self._get_engine().left(self._values, y)
+
+    def right_multiply_matrix(self, x_block: np.ndarray) -> np.ndarray:
+        """Compute ``Y = M X`` for an ``(m, k)`` block of vectors.
+
+        One pass over the grammar serves all ``k`` vectors — the
+        batched form of Theorem 3.4 that amortises the per-variant
+        decode cost across vectors (the access pattern ML workloads
+        such as mini-batch scoring need).
+        """
+        x_block = np.asarray(x_block, dtype=np.float64)
+        if x_block.ndim == 1:
+            x_block = x_block[:, None]
+        return self._get_engine().right_multi(self._values, x_block)
+
+    def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
+        """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors
+        (batched Theorem 3.10)."""
+        y_block = np.asarray(y_block, dtype=np.float64)
+        if y_block.ndim == 1:
+            y_block = y_block[:, None]
+        return self._get_engine().left_multi(self._values, y_block)
+
+    # -- accounting -------------------------------------------------------------------
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Bytes per component of the physical representation."""
+        if self._variant == "re_32":
+            c_bytes = 4 * self._c_length
+            r_bytes = 8 * self._n_rules
+        elif self._variant == "re_iv":
+            c_bytes = self._c_storage.size_bytes()
+            r_bytes = self._r_storage.size_bytes()
+        else:
+            c_bytes = len(self._c_storage)
+            r_bytes = self._r_storage.size_bytes()
+        return {
+            "C": int(c_bytes),
+            "R": int(r_bytes),
+            "V": 8 * int(self._values.size),
+        }
+
+    def size_bytes(self) -> int:
+        """Total bytes of the compressed representation."""
+        return sum(self.size_breakdown().values())

@@ -1,0 +1,203 @@
+"""RePair grammar compression with a protected row separator.
+
+RePair (Larsson & Moffat, 2000) repeatedly finds the most frequent pair
+of adjacent symbols ``AB``, replaces every occurrence with a fresh
+nonterminal ``N``, and records the rule ``N → AB``, stopping when no
+pair occurs twice.  Section 4 of the paper modifies the algorithm in one
+way: the row separator ``$`` (code ``0``) is never part of a pair, so
+every nonterminal expands to a sequence of ``⟨ℓ,j⟩`` pair codes fully
+inside one matrix row.
+
+Implementation notes
+--------------------
+This is the classic linked-sequence formulation:
+
+- the working sequence lives in an array with tombstones; ``prev``/
+  ``next`` arrays skip holes in O(1);
+- an occurrence index maps each active pair to the set of positions
+  where it starts;
+- a lazy max-heap orders pairs by occurrence count.  Entries are
+  validated on pop (the count may have decayed since push); stale
+  entries are re-pushed with the corrected count.  Ties are broken by
+  the pair's symbol ids, which makes the whole compressor
+  deterministic.
+
+Overlapping occurrences (``aaa`` containing ``aa`` twice) are handled at
+replacement time: a position is skipped unless it still spells the pair
+being replaced.
+
+The compressor runs in (expected) time ``O(|S| log |S|)`` and is pure
+Python; the repo keeps the input sequences at a scale (≤ ~1M symbols)
+where this is practical, as described in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.csrv import ROW_SEPARATOR
+from repro.core.grammar import Grammar
+from repro.errors import GrammarError
+
+#: Tombstone marker inside the working sequence.
+_HOLE = -1
+
+
+def repair_compress(
+    s: np.ndarray,
+    min_frequency: int = 2,
+    max_rules: int | None = None,
+    forbidden: int = ROW_SEPARATOR,
+) -> Grammar:
+    """Compress an integer sequence with separator-aware RePair.
+
+    Parameters
+    ----------
+    s:
+        The CSRV sequence (non-negative int array; ``forbidden`` marks
+        row boundaries and never enters a rule).
+    min_frequency:
+        Replace a pair only while it occurs at least this often
+        (the paper uses the classic threshold of 2).
+    max_rules:
+        Optional cap on the number of generated rules (useful for
+        bounding compression effort); ``None`` means unlimited.
+    forbidden:
+        The protected separator symbol (default ``0`` = ``$``).
+
+    Returns
+    -------
+    Grammar
+        With ``nt_base = max(s) + 1`` so nonterminal ids are compact.
+    """
+    seq = np.asarray(s, dtype=np.int64)
+    if seq.ndim != 1:
+        raise GrammarError("repair_compress expects a 1-D sequence")
+    if seq.size and int(seq.min()) < 0:
+        raise GrammarError("sequence symbols must be non-negative")
+    if min_frequency < 2:
+        raise GrammarError(f"min_frequency must be >= 2, got {min_frequency}")
+
+    nt_base = int(seq.max()) + 1 if seq.size else 1
+    state = _RepairState(seq.tolist(), forbidden)
+    rules: list[tuple[int, int]] = []
+    next_symbol = nt_base
+
+    while max_rules is None or len(rules) < max_rules:
+        best = state.pop_best(min_frequency)
+        if best is None:
+            break
+        state.replace_pair(best, next_symbol)
+        rules.append(best)
+        next_symbol += 1
+
+    final = np.asarray(state.compact(), dtype=np.int64)
+    rule_arr = np.asarray(rules, dtype=np.int64).reshape(-1, 2)
+    return Grammar(nt_base=nt_base, rules=rule_arr, final=final)
+
+
+class _RepairState:
+    """Mutable working state of the RePair main loop."""
+
+    def __init__(self, symbols: list[int], forbidden: int):
+        self.forbidden = forbidden
+        self.sym = symbols
+        n = len(symbols)
+        self.next = list(range(1, n + 1))
+        self.prev = list(range(-1, n - 1))
+        self.positions: dict[tuple[int, int], set[int]] = defaultdict(set)
+        for i in range(n - 1):
+            self._index_pair(i, i + 1)
+        self.heap: list[tuple[int, tuple[int, int]]] = [
+            (-len(occ), pair) for pair, occ in self.positions.items() if len(occ) >= 2
+        ]
+        heapq.heapify(self.heap)
+
+    # -- pair index maintenance ---------------------------------------------------
+
+    def _index_pair(self, i: int, j: int) -> None:
+        """Register the adjacent pair starting at position ``i``."""
+        a, b = self.sym[i], self.sym[j]
+        if a == self.forbidden or b == self.forbidden:
+            return
+        self.positions[(a, b)].add(i)
+
+    def _unindex_pair(self, i: int, j: int) -> None:
+        """Remove the occurrence of the pair starting at ``i``."""
+        a, b = self.sym[i], self.sym[j]
+        if a == self.forbidden or b == self.forbidden:
+            return
+        occ = self.positions.get((a, b))
+        if occ is not None:
+            occ.discard(i)
+
+    # -- main-loop operations -------------------------------------------------------
+
+    def pop_best(self, min_frequency: int) -> tuple[int, int] | None:
+        """Return the currently most frequent pair, or ``None`` to stop.
+
+        Lazy-heap discipline: a popped entry whose recorded count no
+        longer matches the live occurrence count is either discarded
+        (count fell below the threshold) or re-pushed with the corrected
+        count.  Counts only decay between pushes, so every entry is
+        corrected at most once per decay and the loop terminates.
+        """
+        heap = self.heap
+        while heap:
+            neg_count, pair = heapq.heappop(heap)
+            occ = self.positions.get(pair)
+            current = len(occ) if occ else 0
+            if current < min_frequency:
+                continue
+            if current != -neg_count:
+                heapq.heappush(heap, (-current, pair))
+                continue
+            return pair
+        return None
+
+    def replace_pair(self, pair: tuple[int, int], new_symbol: int) -> None:
+        """Replace every live occurrence of ``pair`` with ``new_symbol``."""
+        a, b = pair
+        occ = self.positions.pop(pair, set())
+        sym, nxt, prv = self.sym, self.next, self.prev
+        size = len(sym)
+        touched: set[tuple[int, int]] = set()
+        for p in sorted(occ):
+            q = nxt[p]
+            # Revalidate: a previous replacement in this batch may have
+            # consumed either half (overlap handling, e.g. "aaa").
+            if sym[p] != a or q >= size or sym[q] != b:
+                continue
+            left = prv[p]
+            right = nxt[q]
+            # Detach the old context pairs.
+            if left >= 0:
+                self._unindex_pair(left, p)
+            if right < size:
+                self._unindex_pair(q, right)
+            # Rewrite p as the new symbol; q becomes a hole.
+            sym[p] = new_symbol
+            sym[q] = _HOLE
+            nxt[p] = right
+            if right < size:
+                prv[right] = p
+            # Attach the new context pairs.
+            if left >= 0:
+                self._index_pair(left, p)
+                touched.add((sym[left], new_symbol))
+            if right < size:
+                self._index_pair(p, right)
+                touched.add((new_symbol, sym[right]))
+        # Newly created pairs need heap entries; decayed neighbour pairs
+        # do not (lazy validation on pop corrects them for free).
+        for t in touched:
+            occ_t = self.positions.get(t)
+            if occ_t and len(occ_t) >= 2:
+                heapq.heappush(self.heap, (-len(occ_t), t))
+
+    def compact(self) -> list[int]:
+        """Return the live symbols (the final string ``C``)."""
+        return [s for s in self.sym if s != _HOLE]

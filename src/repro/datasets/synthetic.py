@@ -1,0 +1,201 @@
+"""Synthetic matrix generator driven by :class:`MatrixProfile`.
+
+The generator plants exactly the structure that drives the paper's
+experiments:
+
+1. **Latent factors.**  ``n_groups`` categorical latent variables with
+   ``latent_cardinality`` states are drawn per row (Zipf-tilted so some
+   states — and hence some row patterns — are much more frequent,
+   which is what real categorical data looks like).
+2. **Correlated columns.**  A ``frac_correlated`` share of the columns
+   is a deterministic per-column mapping of one latent factor.  Rows
+   with equal latent states therefore repeat whole column *segments*,
+   the redundancy RePair converts into rules.  When
+   ``zeros_from_latent`` is set, part of each mapping is zero, so even
+   the sparsity pattern repeats.
+3. **Independent columns.**  The remaining columns draw i.i.d. from a
+   per-column value pool whose size follows ``distinct_fraction``
+   (≈ nnz·fraction distinct values), modelling near-continuous features.
+4. **Column scattering.**  With ``scatter_columns`` the correlated
+   columns are spread across the matrix by a fixed pseudo-random
+   permutation — adjacent-column redundancy is destroyed, and only a
+   column *reordering* (Section 5) can recover it.  Without it, group
+   members stay adjacent (the Mnist-like case where reordering cannot
+   help).
+
+Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.profiles import MatrixProfile
+from repro.errors import MatrixFormatError
+
+
+def generate_matrix(
+    profile: MatrixProfile, n_rows: int | None = None, seed: int = 0
+) -> np.ndarray:
+    """Generate a dense float64 matrix matching ``profile``.
+
+    Parameters
+    ----------
+    profile:
+        Generator parameters (see :mod:`repro.datasets.profiles`).
+    n_rows:
+        Row count; defaults to ``profile.default_rows``.
+    seed:
+        Seed combined with the profile name, so different datasets
+        never share random streams.
+    """
+    n = int(n_rows) if n_rows is not None else profile.default_rows
+    m = profile.cols
+    if n < 1 or m < 1:
+        raise MatrixFormatError(f"invalid synthetic shape ({n}, {m})")
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, _stable_hash(profile.name)])
+    )
+
+    latents = _draw_latents(
+        rng,
+        n,
+        profile.n_groups,
+        profile.latent_cardinality,
+        profile.master_correlation,
+    )
+    pool = _value_pool(rng, profile)
+
+    n_corr = int(round(profile.frac_correlated * m))
+    matrix = np.empty((n, m), dtype=np.float64)
+    for j in range(m):
+        if j < n_corr:
+            # Contiguous group assignment: members of one latent group
+            # occupy consecutive columns (Mnist-like locality).  When
+            # ``scatter_columns`` is set, the permutation below breaks
+            # this adjacency — the case column reordering can repair.
+            group = (j * profile.n_groups) // n_corr
+            matrix[:, j] = _correlated_column(rng, profile, latents[:, group], pool)
+        else:
+            matrix[:, j] = _independent_column(rng, profile, n, pool)
+
+    if profile.scatter_columns:
+        # Fixed permutation (own stream) that interleaves correlated and
+        # independent columns, destroying planted adjacency.
+        perm_rng = np.random.default_rng(
+            np.random.SeedSequence([seed, _stable_hash(profile.name), 7])
+        )
+        matrix = matrix[:, perm_rng.permutation(m)]
+    return matrix
+
+
+def _stable_hash(name: str) -> int:
+    """Deterministic (process-independent) small hash of a string."""
+    h = 0
+    for ch in name:
+        h = (h * 131 + ord(ch)) % (1 << 31)
+    return h
+
+
+def _draw_latents(
+    rng: np.random.Generator,
+    n: int,
+    n_groups: int,
+    cardinality: int,
+    master_correlation: float = 0.0,
+) -> np.ndarray:
+    """Per-row latent states with a Zipf-tilted distribution.
+
+    With ``master_correlation > 0`` the groups are hierarchically
+    coupled: each group copies a per-row *master* state with that
+    probability and draws independently otherwise.  High coupling makes
+    entire rows repeat — the structure behind Census-like datasets where
+    grammar compression collapses whole rows into single nonterminals.
+    """
+    ranks = np.arange(1, cardinality + 1, dtype=np.float64)
+    probs = 1.0 / ranks
+    probs /= probs.sum()
+    master = rng.choice(cardinality, size=n, p=probs)
+    columns = []
+    for _ in range(n_groups):
+        own = rng.choice(cardinality, size=n, p=probs)
+        if master_correlation > 0.0:
+            copy_mask = rng.random(n) < master_correlation
+            own = np.where(copy_mask, master, own)
+        columns.append(own)
+    return np.stack(columns, axis=1)
+
+
+def _value_pool(rng: np.random.Generator, profile: MatrixProfile) -> np.ndarray | None:
+    """The shared global value dictionary, when the profile has one."""
+    if profile.global_pool is None:
+        return None
+    pool = np.round(
+        rng.uniform(1.0, 100.0, size=profile.global_pool),
+        profile.value_decimals,
+    )
+    return np.unique(pool)
+
+
+def _correlated_column(
+    rng: np.random.Generator,
+    profile: MatrixProfile,
+    states: np.ndarray,
+    pool: np.ndarray | None,
+) -> np.ndarray:
+    """A column that is a deterministic mapping of a latent factor."""
+    cardinality = profile.latent_cardinality
+    if pool is not None:
+        mapping = rng.choice(pool, size=cardinality)
+    else:
+        mapping = np.round(
+            rng.uniform(0.1, 100.0, size=cardinality), profile.value_decimals
+        )
+    if profile.zeros_from_latent:
+        # Zero out entire latent states so the column density lands as
+        # close as possible to the target; rare states are zeroed first
+        # and the state crossing the target is included only when that
+        # reduces the error.
+        target_zero = 1.0 - profile.density
+        state_freq = np.bincount(states, minlength=cardinality) / states.size
+        order = np.argsort(state_freq)  # zero the rare states first
+        cum = np.cumsum(state_freq[order])
+        n_zero = int(np.searchsorted(cum, target_zero, side="right"))
+        mapping[order[:n_zero]] = 0.0
+        column = mapping[states]
+        # The state granularity usually undershoots the target; close the
+        # residual gap with random zeros on the remaining entries so the
+        # overall density matches the profile.
+        zeroed = cum[n_zero - 1] if n_zero else 0.0
+        residual = target_zero - zeroed
+        if residual > 1e-9 and zeroed < 1.0:
+            rate = residual / (1.0 - zeroed)
+            column = np.where(rng.random(states.size) < rate, 0.0, column)
+    else:
+        column = mapping[states]
+        zero_mask = rng.random(states.size) >= profile.density
+        column = np.where(zero_mask, 0.0, column)
+    return column
+
+
+def _independent_column(
+    rng: np.random.Generator,
+    profile: MatrixProfile,
+    n: int,
+    pool: np.ndarray | None,
+) -> np.ndarray:
+    """An i.i.d. column drawn from a (possibly large) value pool."""
+    expected_nnz = max(1.0, n * profile.density)
+    if pool is not None:
+        column_pool = pool
+    else:
+        pool_size = max(2, int(round(expected_nnz * profile.distinct_fraction)) + 1)
+        column_pool = np.round(
+            rng.uniform(0.1, 1000.0, size=pool_size), profile.value_decimals
+        )
+        column_pool = column_pool[column_pool != 0.0]
+        if column_pool.size == 0:
+            column_pool = np.asarray([1.0])
+    column = rng.choice(column_pool, size=n)
+    zero_mask = rng.random(n) >= profile.density
+    return np.where(zero_mask, 0.0, column)

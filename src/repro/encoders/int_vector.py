@@ -1,0 +1,203 @@
+"""Bit-packed vectors of fixed-width unsigned integers.
+
+This module reimplements the part of sdsl-lite's ``int_vector`` used by
+the paper's ``re_iv`` matrix format: a sequence of unsigned integers, all
+stored with the same bit width ``w``, packed back to back into a word
+array.  The paper stores the RePair output arrays ``C`` and ``R`` with
+``w = 1 + floor(log2(N_max))`` bits per entry, where ``N_max`` is the
+largest symbol id (Section 4, variant *re_iv*).
+
+The implementation packs into ``uint64`` words.  Random access reads at
+most two words; bulk decode (:meth:`IntVector.to_numpy`) is fully
+vectorised, which is what the matrix-vector multiplication kernels use.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+_WORD_BITS = 64
+
+
+def bits_required(value: int) -> int:
+    """Return the number of bits needed to store ``value`` (>= 1).
+
+    Matches the paper's width rule: ``bits_required(N_max)`` equals
+    ``1 + floor(log2(N_max))`` for ``N_max >= 1`` and ``1`` for ``0``.
+    """
+    if value < 0:
+        raise EncodingError(f"cannot pack negative value {value}")
+    return max(1, int(value).bit_length())
+
+
+class IntVector:
+    """An immutable bit-packed vector of ``width``-bit unsigned ints.
+
+    Parameters
+    ----------
+    values:
+        Integer sequence to pack.  Accepts any iterable of ints or a
+        numpy integer array.
+    width:
+        Bits per entry.  If omitted, the minimum width that fits the
+        largest value is used (``1 + floor(log2(max))``).
+
+    Examples
+    --------
+    >>> iv = IntVector([3, 0, 7, 5])
+    >>> iv.width
+    3
+    >>> list(iv)
+    [3, 0, 7, 5]
+    >>> iv.size_bytes() <= 8 + IntVector.HEADER_BYTES
+    True
+    """
+
+    #: bookkeeping bytes charged by :meth:`size_bytes` (length + width).
+    HEADER_BYTES = 9
+
+    def __init__(self, values: Iterable[int] | np.ndarray, width: int | None = None):
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            raise EncodingError(f"IntVector requires integers, got dtype {arr.dtype}")
+        arr = arr.astype(np.uint64, copy=False).ravel()
+        max_value = int(arr.max()) if arr.size else 0
+        if width is None:
+            width = bits_required(max_value)
+        if not 1 <= width <= 64:
+            raise EncodingError(f"width must be in [1, 64], got {width}")
+        if width < 64 and max_value >= (1 << width):
+            raise EncodingError(f"value {max_value} does not fit in {width} bits")
+        self._n = int(arr.size)
+        self._width = int(width)
+        self._words = _pack(arr, self._width)
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_numpy().tolist())
+
+    def __getitem__(self, index: int) -> int:
+        if isinstance(index, slice):
+            return self.to_numpy()[index]
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(f"index {index} out of range for length {self._n}")
+        return int(_get_one(self._words, self._width, index))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntVector):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._width == other._width
+            and np.array_equal(self._words, other._words)
+        )
+
+    def __repr__(self) -> str:
+        return f"IntVector(n={self._n}, width={self._width})"
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Bits per entry."""
+        return self._width
+
+    @property
+    def words(self) -> np.ndarray:
+        """The underlying packed ``uint64`` word array (read-only view)."""
+        view = self._words.view()
+        view.flags.writeable = False
+        return view
+
+    # -- bulk conversion ----------------------------------------------------------
+
+    def to_numpy(self, dtype=np.int64) -> np.ndarray:
+        """Decode the whole vector into a numpy array (vectorised)."""
+        return _unpack(self._words, self._width, self._n).astype(dtype, copy=False)
+
+    def size_bytes(self) -> int:
+        """Bytes occupied by the packed representation (plus header)."""
+        return int(self._words.nbytes) + self.HEADER_BYTES
+
+    # -- (de)serialization --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a self-describing byte string."""
+        header = self._n.to_bytes(8, "little") + bytes([self._width])
+        return header + self._words.tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "IntVector":
+        """Inverse of :meth:`to_bytes`."""
+        if len(data) < cls.HEADER_BYTES:
+            raise EncodingError("IntVector blob truncated (no header)")
+        n = int.from_bytes(data[:8], "little")
+        width = data[8]
+        n_words = (n * width + _WORD_BITS - 1) // _WORD_BITS
+        payload = data[cls.HEADER_BYTES:]
+        if len(payload) < 8 * n_words:
+            raise EncodingError("IntVector blob truncated (payload)")
+        vec = cls.__new__(cls)
+        vec._n = n
+        vec._width = width
+        vec._words = np.frombuffer(payload[: 8 * n_words], dtype=np.uint64).copy()
+        return vec
+
+
+def _pack(arr: np.ndarray, width: int) -> np.ndarray:
+    """Pack ``arr`` (uint64) at ``width`` bits/entry into uint64 words."""
+    n = arr.size
+    n_bits = n * width
+    n_words = (n_bits + _WORD_BITS - 1) // _WORD_BITS
+    words = np.zeros(n_words, dtype=np.uint64)
+    if n == 0:
+        return words
+    positions = np.arange(n, dtype=np.uint64) * np.uint64(width)
+    word_idx = (positions // _WORD_BITS).astype(np.int64)
+    bit_off = (positions % _WORD_BITS).astype(np.uint64)
+    # Low part always lands in word_idx.
+    np.bitwise_or.at(words, word_idx, arr << bit_off)
+    # Entries straddling a word boundary spill their high bits into the
+    # next word.
+    spill = bit_off + np.uint64(width) > np.uint64(_WORD_BITS)
+    if np.any(spill):
+        hi = arr[spill] >> (np.uint64(_WORD_BITS) - bit_off[spill])
+        np.bitwise_or.at(words, word_idx[spill] + 1, hi)
+    return words
+
+
+def _unpack(words: np.ndarray, width: int, n: int) -> np.ndarray:
+    """Vectorised inverse of :func:`_pack`."""
+    if n == 0:
+        return np.zeros(0, dtype=np.uint64)
+    positions = np.arange(n, dtype=np.uint64) * np.uint64(width)
+    word_idx = (positions // _WORD_BITS).astype(np.int64)
+    bit_off = positions % np.uint64(_WORD_BITS)
+    mask = np.uint64((1 << width) - 1) if width < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+    out = words[word_idx] >> bit_off
+    spill = bit_off + np.uint64(width) > np.uint64(_WORD_BITS)
+    if np.any(spill):
+        hi = words[word_idx[spill] + 1] << (np.uint64(_WORD_BITS) - bit_off[spill])
+        out[spill] |= hi
+    return out & mask
+
+
+def _get_one(words: np.ndarray, width: int, index: int) -> int:
+    """Random access to a single packed entry (reads <= 2 words)."""
+    position = index * width
+    word_idx, bit_off = divmod(position, _WORD_BITS)
+    mask = (1 << width) - 1
+    value = int(words[word_idx]) >> bit_off
+    if bit_off + width > _WORD_BITS:
+        value |= int(words[word_idx + 1]) << (_WORD_BITS - bit_off)
+    return value & mask

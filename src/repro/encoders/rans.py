@@ -1,0 +1,232 @@
+"""Semi-static large-alphabet rANS entropy coder.
+
+This is the stand-in for the ``ans-fold`` coder of Moffat & Petri used by
+the paper's ``re_ans`` variant to store the final string ``C`` of the
+RePair grammar.  Key properties mirrored from the paper's setting:
+
+- **semi-static**: a frequency table over the (possibly very large)
+  symbol alphabet is built in one pass and stored in the header;
+- **large alphabet**: symbols are arbitrary non-negative integers; the
+  header maps them to dense ids, so alphabets of hundreds of thousands
+  of symbols (RePair nonterminals) are handled without a 2^32 table;
+- **stream decode**: decoding is a forward scan, which is exactly what
+  the matrix-vector multiplication kernels need (the paper notes that
+  ``re_ans`` trades extra decode time during each multiplication for a
+  smaller resident representation).
+
+The entropy coder itself is the standard byte-renormalised rANS
+construction (Duda; "ryg_rans" layout): a 32-bit state constrained to
+``[L, L*256)`` with ``L = 2^23``, and probabilities quantised to
+``2^scale_bits``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoders.varint import decode_uvarint, encode_uvarint
+from repro.errors import EncodingError
+
+#: Lower bound of the rANS normalisation interval.
+RANS_L = 1 << 23
+#: Default probability quantisation (12 bits = 4096 slots).
+DEFAULT_SCALE_BITS = 12
+#: Largest supported quantisation; keeps the slot table small.
+MAX_SCALE_BITS = 16
+
+
+def normalize_frequencies(counts: np.ndarray, scale_bits: int) -> np.ndarray:
+    """Scale raw symbol counts to frequencies summing to ``2^scale_bits``.
+
+    Every present symbol keeps a frequency of at least 1 (a zero
+    frequency would make the symbol unencodable).  The residual from
+    rounding is absorbed by the most frequent symbols, which perturbs
+    the code lengths the least.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(counts <= 0):
+        raise EncodingError("all symbol counts must be positive")
+    target = 1 << scale_bits
+    if counts.size > target:
+        raise EncodingError(
+            f"alphabet of {counts.size} symbols does not fit in "
+            f"2^{scale_bits} probability slots"
+        )
+    total = int(counts.sum())
+    freqs = np.maximum(1, (counts * target) // total).astype(np.int64)
+    error = target - int(freqs.sum())
+    if error != 0:
+        # Distribute the residual over symbols in decreasing count order,
+        # never driving a frequency below 1.
+        order = np.argsort(-counts, kind="stable")
+        i = 0
+        step = 1 if error > 0 else -1
+        remaining = abs(error)
+        while remaining > 0:
+            idx = order[i % order.size]
+            if step > 0 or freqs[idx] > 1:
+                freqs[idx] += step
+                remaining -= 1
+            i += 1
+    return freqs
+
+
+class RansEncoder:
+    """Encode a sequence of dense symbol ids with known frequencies.
+
+    Parameters
+    ----------
+    freqs:
+        Quantised frequencies per dense symbol id; must sum to
+        ``2^scale_bits`` (see :func:`normalize_frequencies`).
+    scale_bits:
+        Probability quantisation exponent.
+    """
+
+    def __init__(self, freqs: np.ndarray, scale_bits: int = DEFAULT_SCALE_BITS):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        if freqs.size and int(freqs.sum()) != (1 << scale_bits):
+            raise EncodingError(
+                f"frequencies sum to {int(freqs.sum())}, "
+                f"expected {1 << scale_bits}"
+            )
+        self._scale_bits = scale_bits
+        self._freqs = freqs
+        self._cum = np.zeros(freqs.size + 1, dtype=np.int64)
+        np.cumsum(freqs, out=self._cum[1:])
+
+    def encode(self, symbols: np.ndarray) -> bytes:
+        """Encode dense symbol ids; returns the byte stream (decode order)."""
+        freqs = self._freqs.tolist()
+        cums = self._cum.tolist()
+        scale_bits = self._scale_bits
+        # Renormalisation threshold numerator: state must stay below
+        # ((L >> scale_bits) << 8) * freq before pushing a symbol.
+        x_max_base = (RANS_L >> scale_bits) << 8
+        out = bytearray()
+        x = RANS_L
+        # rANS encodes in reverse so that decoding is a forward scan.
+        for s in reversed(np.asarray(symbols, dtype=np.int64).tolist()):
+            f = freqs[s]
+            x_max = x_max_base * f
+            while x >= x_max:
+                out.append(x & 0xFF)
+                x >>= 8
+            x = ((x // f) << scale_bits) + (x % f) + cums[s]
+        out.extend(x.to_bytes(4, "little"))
+        out.reverse()
+        return bytes(out)
+
+
+class RansDecoder:
+    """Decode a byte stream produced by :class:`RansEncoder`."""
+
+    def __init__(self, freqs: np.ndarray, scale_bits: int = DEFAULT_SCALE_BITS):
+        freqs = np.asarray(freqs, dtype=np.int64)
+        self._scale_bits = scale_bits
+        cum = np.zeros(freqs.size + 1, dtype=np.int64)
+        np.cumsum(freqs, out=cum[1:])
+        # slot -> symbol lookup table (2^scale_bits entries).
+        self._slot2sym = np.repeat(
+            np.arange(freqs.size, dtype=np.int64), freqs
+        ).tolist()
+        self._freqs = freqs.tolist()
+        self._cum = cum.tolist()
+
+    def decode(self, data: bytes, n: int) -> np.ndarray:
+        """Decode ``n`` dense symbol ids from ``data``."""
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if len(data) < 4:
+            raise EncodingError("rANS stream truncated (missing state)")
+        scale_bits = self._scale_bits
+        mask = (1 << scale_bits) - 1
+        slot2sym = self._slot2sym
+        freqs = self._freqs
+        cums = self._cum
+        pos = 4
+        x = int.from_bytes(data[:4], "big")
+        size = len(data)
+        out = [0] * n
+        for i in range(n):
+            slot = x & mask
+            s = slot2sym[slot]
+            out[i] = s
+            x = freqs[s] * (x >> scale_bits) + slot - cums[s]
+            while x < RANS_L:
+                if pos >= size:
+                    raise EncodingError("rANS stream truncated (payload)")
+                x = (x << 8) | data[pos]
+                pos += 1
+        return np.asarray(out, dtype=np.int64)
+
+
+def ans_compress(values: np.ndarray, scale_bits: int = DEFAULT_SCALE_BITS) -> bytes:
+    """Compress an integer array into a self-describing ANS blob.
+
+    The blob layout is::
+
+        uvarint n            -- number of symbols
+        uvarint scale_bits
+        uvarint sigma        -- alphabet size
+        uvarint alphabet[0], delta-coded alphabet[1..sigma-1]
+        uvarint freqs[sigma] -- quantised frequencies
+        payload              -- rANS byte stream
+
+    Parameters
+    ----------
+    values:
+        Non-negative integers (any magnitude).
+    scale_bits:
+        Requested probability quantisation; automatically raised when
+        the alphabet is too large for the requested number of slots.
+    """
+    arr = np.asarray(values, dtype=np.int64).ravel()
+    if arr.size and int(arr.min()) < 0:
+        raise EncodingError("ans_compress requires non-negative values")
+    alphabet, dense = np.unique(arr, return_inverse=True)
+    counts = np.bincount(dense, minlength=alphabet.size).astype(np.int64)
+    while alphabet.size > (1 << scale_bits):
+        scale_bits += 1
+    if scale_bits > MAX_SCALE_BITS:
+        raise EncodingError(
+            f"alphabet of {alphabet.size} symbols exceeds the "
+            f"2^{MAX_SCALE_BITS} slot limit"
+        )
+    freqs = normalize_frequencies(counts, scale_bits) if alphabet.size else counts
+    header = bytearray()
+    header += encode_uvarint(arr.size)
+    header += encode_uvarint(scale_bits)
+    header += encode_uvarint(alphabet.size)
+    prev = 0
+    for a in alphabet.tolist():
+        header += encode_uvarint(a - prev)
+        prev = a
+    for f in freqs.tolist():
+        header += encode_uvarint(int(f))
+    if arr.size == 0:
+        return bytes(header)
+    payload = RansEncoder(freqs, scale_bits).encode(dense)
+    return bytes(header) + payload
+
+
+def ans_decompress(data: bytes) -> np.ndarray:
+    """Inverse of :func:`ans_compress`."""
+    n, pos = decode_uvarint(data, 0)
+    scale_bits, pos = decode_uvarint(data, pos)
+    sigma, pos = decode_uvarint(data, pos)
+    alphabet = np.zeros(sigma, dtype=np.int64)
+    prev = 0
+    for i in range(sigma):
+        delta, pos = decode_uvarint(data, pos)
+        prev += delta
+        alphabet[i] = prev
+    freqs = np.zeros(sigma, dtype=np.int64)
+    for i in range(sigma):
+        freqs[i], pos = decode_uvarint(data, pos)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    dense = RansDecoder(freqs, scale_bits).decode(data[pos:], n)
+    return alphabet[dense]

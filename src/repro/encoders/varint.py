@@ -1,0 +1,54 @@
+"""LEB128 variable-length unsigned integers.
+
+Used by :mod:`repro.io.serialize` for headers and small counters so that
+serialized blobs stay compact without committing to a fixed field width.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128 bytes.
+
+    >>> encode_uvarint(0)
+    b'\\x00'
+    >>> encode_uvarint(300).hex()
+    'ac02'
+    """
+    if value < 0:
+        raise EncodingError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 integer from ``data`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+
+    >>> decode_uvarint(b'\\xac\\x02')
+    (300, 2)
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise EncodingError("uvarint truncated")
+        if shift > 63:
+            raise EncodingError("uvarint too long (max 64 bits)")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7

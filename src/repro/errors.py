@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers
+can catch everything produced by this package with a single ``except``
+clause while still letting programming errors (``TypeError`` from misuse
+of numpy, etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class MatrixFormatError(ReproError):
+    """An input matrix (or matrix file) is malformed or unsupported."""
+
+
+class GrammarError(ReproError):
+    """A grammar (SLP) violates a structural invariant.
+
+    Examples: a rule references a nonterminal with a higher id, the
+    ``$`` sentinel appears inside a rule, or the final string expands to
+    a sequence with the wrong number of rows.
+    """
+
+
+class EncodingError(ReproError):
+    """A low-level encoder (int vector, rANS, varint) received invalid
+    input or detected a corrupt stream during decoding."""
+
+
+class SerializationError(ReproError):
+    """A serialized matrix blob is truncated, corrupt, or has an
+    unsupported version tag."""
+
+
+class PlanningError(ReproError):
+    """The CLA compression planner could not produce a valid plan."""

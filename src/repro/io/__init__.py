@@ -1,0 +1,5 @@
+"""On-disk serialization of compressed matrices."""
+
+from repro.io.serialize import load_matrix, loads_matrix, save_matrix, saves_matrix
+
+__all__ = ["save_matrix", "load_matrix", "saves_matrix", "loads_matrix"]

@@ -1,0 +1,241 @@
+"""Self-describing binary serialization for compressed matrices.
+
+The paper's motivation includes storage and transmission; unlike CLA
+(which recompresses at every run inside SystemDS — Section 5.4 calls
+this out), the grammar formats here round-trip losslessly through a
+compact binary blob:
+
+Layout (all integers LEB128 unless noted)::
+
+    magic  b"GCMX"
+    version u8 (=1)
+    kind    u8: 0 = CSRVMatrix, 1 = GrammarCompressedMatrix,
+               2 = BlockedMatrix
+    payload
+
+Blocked payloads store the shared distinct-value array ``V`` once and
+the per-block structures without it, matching the in-memory sharing of
+Section 4.1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocked import BlockedMatrix
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import GrammarCompressedMatrix
+from repro.encoders.int_vector import IntVector
+from repro.encoders.varint import decode_uvarint, encode_uvarint
+from repro.errors import SerializationError
+
+_MAGIC = b"GCMX"
+_VERSION = 1
+_KIND_CSRV = 0
+_KIND_GCM = 1
+_KIND_BLOCKED = 2
+_VARIANT_TAGS = {"re_32": 0, "re_iv": 1, "re_ans": 2}
+_TAG_VARIANTS = {v: k for k, v in _VARIANT_TAGS.items()}
+
+
+# -- public API ---------------------------------------------------------------------
+
+
+def saves_matrix(matrix) -> bytes:
+    """Serialize a matrix representation to bytes."""
+    if isinstance(matrix, CSRVMatrix):
+        return _header(_KIND_CSRV) + _csrv_payload(matrix, include_values=True)
+    if isinstance(matrix, GrammarCompressedMatrix):
+        return _header(_KIND_GCM) + _gcm_payload(matrix, include_values=True)
+    if isinstance(matrix, BlockedMatrix):
+        return _header(_KIND_BLOCKED) + _blocked_payload(matrix)
+    raise SerializationError(
+        f"cannot serialize objects of type {type(matrix).__name__}"
+    )
+
+
+def loads_matrix(data: bytes):
+    """Inverse of :func:`saves_matrix`."""
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise SerializationError("bad magic — not a GCMX blob")
+    pos = len(_MAGIC)
+    if pos + 2 > len(data):
+        raise SerializationError("truncated header")
+    version, kind = data[pos], data[pos + 1]
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    pos += 2
+    if kind == _KIND_CSRV:
+        matrix, _ = _read_csrv(data, pos, values=None)
+        return matrix
+    if kind == _KIND_GCM:
+        matrix, _ = _read_gcm(data, pos, values=None)
+        return matrix
+    if kind == _KIND_BLOCKED:
+        return _read_blocked(data, pos)
+    raise SerializationError(f"unknown kind tag {kind}")
+
+
+def save_matrix(matrix, path) -> None:
+    """Serialize to a file."""
+    with open(path, "wb") as fh:
+        fh.write(saves_matrix(matrix))
+
+
+def load_matrix(path):
+    """Deserialize from a file."""
+    with open(path, "rb") as fh:
+        return loads_matrix(fh.read())
+
+
+# -- encoding helpers -----------------------------------------------------------------
+
+
+def _header(kind: int) -> bytes:
+    return _MAGIC + bytes([_VERSION, kind])
+
+
+def _put_bytes(blob: bytes) -> bytes:
+    return encode_uvarint(len(blob)) + blob
+
+
+def _get_bytes(data: bytes, pos: int) -> tuple[bytes, int]:
+    length, pos = decode_uvarint(data, pos)
+    if pos + length > len(data):
+        raise SerializationError("truncated byte field")
+    return data[pos : pos + length], pos + length
+
+
+def _put_values(values: np.ndarray) -> bytes:
+    return _put_bytes(np.ascontiguousarray(values, dtype=np.float64).tobytes())
+
+
+def _get_values(data: bytes, pos: int) -> tuple[np.ndarray, int]:
+    raw, pos = _get_bytes(data, pos)
+    return np.frombuffer(raw, dtype=np.float64).copy(), pos
+
+
+def _csrv_payload(matrix: CSRVMatrix, include_values: bool) -> bytes:
+    out = bytearray()
+    out += encode_uvarint(matrix.shape[0])
+    out += encode_uvarint(matrix.shape[1])
+    if include_values:
+        out += _put_values(matrix.values)
+    out += _put_bytes(IntVector(matrix.s).to_bytes())
+    return bytes(out)
+
+
+def _read_csrv(data: bytes, pos: int, values) -> tuple[CSRVMatrix, int]:
+    n, pos = decode_uvarint(data, pos)
+    m, pos = decode_uvarint(data, pos)
+    if values is None:
+        values, pos = _get_values(data, pos)
+    raw, pos = _get_bytes(data, pos)
+    s = IntVector.from_bytes(raw).to_numpy()
+    return CSRVMatrix(s, values, (n, m)), pos
+
+
+def _gcm_payload(matrix: GrammarCompressedMatrix, include_values: bool) -> bytes:
+    out = bytearray()
+    out.append(_VARIANT_TAGS[matrix.variant])
+    out += encode_uvarint(matrix.shape[0])
+    out += encode_uvarint(matrix.shape[1])
+    out += encode_uvarint(matrix.nt_base)
+    out += encode_uvarint(matrix.c_length)
+    out += encode_uvarint(matrix.n_rules)
+    if include_values:
+        out += _put_values(matrix.values)
+    c_storage = matrix._c_storage
+    r_storage = matrix._r_storage
+    if matrix.variant == "re_32":
+        out += _put_bytes(np.ascontiguousarray(c_storage).tobytes())
+        out += _put_bytes(np.ascontiguousarray(r_storage).tobytes())
+    elif matrix.variant == "re_iv":
+        out += _put_bytes(c_storage.to_bytes())
+        out += _put_bytes(r_storage.to_bytes())
+    else:  # re_ans
+        out += _put_bytes(c_storage)
+        out += _put_bytes(r_storage.to_bytes())
+    return bytes(out)
+
+
+def _read_gcm(data: bytes, pos: int, values) -> tuple[GrammarCompressedMatrix, int]:
+    if pos >= len(data):
+        raise SerializationError("truncated GCM payload")
+    tag = data[pos]
+    pos += 1
+    variant = _TAG_VARIANTS.get(tag)
+    if variant is None:
+        raise SerializationError(f"unknown variant tag {tag}")
+    n, pos = decode_uvarint(data, pos)
+    m, pos = decode_uvarint(data, pos)
+    nt_base, pos = decode_uvarint(data, pos)
+    c_length, pos = decode_uvarint(data, pos)
+    n_rules, pos = decode_uvarint(data, pos)
+    if values is None:
+        values, pos = _get_values(data, pos)
+    raw_c, pos = _get_bytes(data, pos)
+    raw_r, pos = _get_bytes(data, pos)
+    if variant == "re_32":
+        c_storage = np.frombuffer(raw_c, dtype=np.uint32).copy()
+        r_storage = np.frombuffer(raw_r, dtype=np.uint32).copy()
+    elif variant == "re_iv":
+        c_storage = IntVector.from_bytes(raw_c)
+        r_storage = IntVector.from_bytes(raw_r)
+    else:
+        c_storage = bytes(raw_c)
+        r_storage = IntVector.from_bytes(raw_r)
+    matrix = GrammarCompressedMatrix(
+        variant,
+        (n, m),
+        values,
+        nt_base,
+        c_storage,
+        r_storage,
+        c_length=c_length,
+        n_rules=n_rules,
+    )
+    return matrix, pos
+
+
+def _blocked_payload(matrix: BlockedMatrix) -> bytes:
+    blocks = matrix.blocks
+    out = bytearray()
+    out += encode_uvarint(matrix.shape[0])
+    out += encode_uvarint(matrix.shape[1])
+    out += encode_uvarint(len(blocks))
+    # All blocks share one V (Section 4.1); store it once.
+    out += _put_values(blocks[0].values)
+    for block in blocks:
+        if isinstance(block, CSRVMatrix):
+            out.append(_KIND_CSRV)
+            out += _csrv_payload(block, include_values=False)
+        elif isinstance(block, GrammarCompressedMatrix):
+            out.append(_KIND_GCM)
+            out += _gcm_payload(block, include_values=False)
+        else:
+            raise SerializationError(
+                f"cannot serialize block of type {type(block).__name__}"
+            )
+    return bytes(out)
+
+
+def _read_blocked(data: bytes, pos: int) -> BlockedMatrix:
+    n, pos = decode_uvarint(data, pos)
+    m, pos = decode_uvarint(data, pos)
+    n_blocks, pos = decode_uvarint(data, pos)
+    values, pos = _get_values(data, pos)
+    blocks = []
+    for _ in range(n_blocks):
+        if pos >= len(data):
+            raise SerializationError("truncated blocked payload")
+        kind = data[pos]
+        pos += 1
+        if kind == _KIND_CSRV:
+            block, pos = _read_csrv(data, pos, values=values)
+        elif kind == _KIND_GCM:
+            block, pos = _read_gcm(data, pos, values=values)
+        else:
+            raise SerializationError(f"unknown block kind {kind}")
+        blocks.append(block)
+    return BlockedMatrix(blocks, (n, m))

@@ -1,0 +1,49 @@
+"""Column reordering for grammar compression (Section 5 of the paper).
+
+Workflow: build the column-column similarity matrix
+(:func:`repro.reorder.similarity.column_similarity_matrix`), optionally
+prune it (:func:`repro.reorder.similarity.prune_local` /
+:func:`repro.reorder.similarity.prune_global`), then feed it to one of
+the four reordering algorithms:
+
+- :func:`repro.reorder.path_cover.path_cover_order` (PathCover)
+- :func:`repro.reorder.path_cover.path_cover_plus_order` (PathCover+)
+- :func:`repro.reorder.matching.matching_order` (MWM)
+- :func:`repro.reorder.tsp.tsp_order` (LKH-style TSP heuristic)
+
+:func:`repro.reorder.pipeline.reorder_columns` bundles these steps, and
+:func:`repro.reorder.pipeline.compress_with_reordering` applies the
+paper's Section 5.3 recipe (per-block reordering, best algorithm per
+matrix, blockwise compression).
+"""
+
+from repro.reorder.intra_row import INTRA_ROW_KEYS, reorder_within_rows
+from repro.reorder.matching import matching_order
+from repro.reorder.path_cover import path_cover_order, path_cover_plus_order
+from repro.reorder.pipeline import (
+    INTRA_ROW_METHODS as PIPELINE_INTRA_METHODS,
+    REORDER_METHODS,
+    compress_with_reordering,
+    reorder_columns,
+)
+from repro.reorder.similarity import (
+    column_similarity_matrix,
+    prune_global,
+    prune_local,
+)
+from repro.reorder.tsp import tsp_order
+
+__all__ = [
+    "column_similarity_matrix",
+    "prune_local",
+    "prune_global",
+    "path_cover_order",
+    "path_cover_plus_order",
+    "matching_order",
+    "tsp_order",
+    "reorder_columns",
+    "compress_with_reordering",
+    "REORDER_METHODS",
+    "reorder_within_rows",
+    "INTRA_ROW_KEYS",
+]

@@ -1,0 +1,83 @@
+"""Intra-row pair reordering — the paper's declared future work.
+
+Section 3 closes with: *"As for future work, we plan to analyse the
+general problem in which the elements in each row are reordered
+independently of all other rows."*  This module implements that idea.
+
+Because a CSRV pair ``⟨ℓ,j⟩`` carries its own column index, the pairs of
+a row may be permuted arbitrarily without affecting either
+multiplication direction — a strictly larger search space than the
+global column permutations of Section 5 (which constrain every row to
+one shared order).
+
+Two practical heuristics are provided:
+
+``"code"``
+    Sort each row's pairs by their integer code.  Rows holding the same
+    *set* of pairs then spell the same substring, regardless of how
+    their non-zeros were originally laid out — the canonical form that
+    maximises whole-row sharing.
+``"frequency"``
+    Sort each row's pairs by decreasing global code frequency (ties by
+    code).  Frequent codes cluster at the front of every row, so rows
+    that share only their popular pairs still develop common prefixes
+    for RePair to exploit.
+
+Both run in ``O(|S| log |S|)`` (one lexsort) and compose with the
+column reordering of Section 5 (apply the column order first, then the
+intra-row pass — or use intra-row alone, which subsumes a global order
+for ``"code"``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.csrv import ROW_SEPARATOR, CSRVMatrix
+from repro.errors import MatrixFormatError
+
+#: Supported intra-row orderings.
+INTRA_ROW_KEYS = ("code", "frequency")
+
+
+def reorder_within_rows(csrv: CSRVMatrix, key: str = "frequency") -> CSRVMatrix:
+    """Return a new CSRV matrix with each row's pairs re-laid-out.
+
+    The represented matrix is unchanged (same ``to_dense()``, same
+    multiplication results); only the order of pairs inside each row of
+    ``S`` differs, which is what the grammar compressor sees.
+
+    Parameters
+    ----------
+    csrv:
+        Source representation.
+    key:
+        One of :data:`INTRA_ROW_KEYS`.
+    """
+    if key not in INTRA_ROW_KEYS:
+        raise MatrixFormatError(
+            f"unknown intra-row key {key!r}; expected one of {INTRA_ROW_KEYS}"
+        )
+    s = csrv.s
+    is_sep = s == ROW_SEPARATOR
+    row_of_pos = np.cumsum(is_sep) - is_sep
+    nz_pos = np.flatnonzero(~is_sep)
+    codes = s[nz_pos]
+    rows = row_of_pos[nz_pos]
+
+    if key == "code":
+        sort_key = codes
+    else:
+        # Global frequency rank: most frequent code gets rank 0.
+        alphabet, inverse, counts = np.unique(
+            codes, return_inverse=True, return_counts=True
+        )
+        rank_of_alphabet = np.empty(alphabet.size, dtype=np.int64)
+        order = np.lexsort((alphabet, -counts))
+        rank_of_alphabet[order] = np.arange(alphabet.size)
+        sort_key = rank_of_alphabet[inverse]
+
+    new_order = np.lexsort((codes, sort_key, rows))
+    new_s = s.copy()
+    new_s[nz_pos] = codes[new_order]
+    return CSRVMatrix(new_s, csrv.values, csrv.shape)

@@ -1,0 +1,133 @@
+"""PathCover and PathCover+ column reordering (Section 5.2).
+
+**PathCover** models reordering as finding disjoint maximum-weight paths
+covering the similarity graph: edges are scanned by decreasing weight
+(Kruskal style) and accepted only when they keep the selection a union
+of vertex-disjoint simple paths (both endpoints have degree < 2 and the
+edge closes no cycle).  The resulting paths are concatenated — most
+similar columns become adjacent, and columns without useful partners
+are left alone, which is why PathCover is both fast and effective.
+
+**PathCover+** grows paths with a dynamically re-weighted graph: when
+the selected edge extends a path ``P``, every remaining neighbour's
+weight towards ``P`` is recomputed as the *minimum* similarity to any
+node of ``P`` (single-linkage with min, per the paper's description of
+coalescing ``P`` into a macro-node).  The paper found this variant
+always worse than plain PathCover; it is included for completeness and
+for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.reorder.similarity import similarity_edges
+
+
+class _PathForest:
+    """Union-find specialised to maintaining vertex-disjoint paths."""
+
+    def __init__(self, m: int):
+        self.parent = list(range(m))
+        self.degree = [0] * m
+        self.adj: list[list[int]] = [[] for _ in range(m)]
+
+    def find(self, u: int) -> int:
+        root = u
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[u] != root:
+            self.parent[u], u = root, self.parent[u]
+        return root
+
+    def can_link(self, u: int, v: int) -> bool:
+        return (
+            self.degree[u] < 2
+            and self.degree[v] < 2
+            and self.find(u) != self.find(v)
+        )
+
+    def link(self, u: int, v: int) -> None:
+        self.parent[self.find(u)] = self.find(v)
+        self.degree[u] += 1
+        self.degree[v] += 1
+        self.adj[u].append(v)
+        self.adj[v].append(u)
+
+    def extract_paths(self) -> list[list[int]]:
+        """Walk each component from an endpoint; isolated nodes are
+        length-1 paths.  Paths are emitted in order of their smallest
+        endpoint id, making the output deterministic."""
+        m = len(self.parent)
+        visited = [False] * m
+        paths = []
+        for start in range(m):
+            if visited[start] or self.degree[start] > 1:
+                continue
+            path = [start]
+            visited[start] = True
+            prev, cur = start, start
+            while True:
+                nxt = [w for w in self.adj[cur] if w != prev and not visited[w]]
+                if not nxt:
+                    break
+                prev, cur = cur, nxt[0]
+                visited[cur] = True
+                path.append(cur)
+            paths.append(path)
+        return paths
+
+
+def path_cover_order(csm: np.ndarray) -> np.ndarray:
+    """Column permutation from the PathCover greedy path cover."""
+    m = csm.shape[0]
+    forest = _PathForest(m)
+    for _w, i, j in similarity_edges(csm):
+        if forest.can_link(i, j):
+            forest.link(i, j)
+    order = [c for path in forest.extract_paths() for c in path]
+    return np.asarray(order, dtype=np.int64)
+
+
+def path_cover_plus_order(csm: np.ndarray) -> np.ndarray:
+    """Column permutation from PathCover+ (dynamic min-linkage weights).
+
+    A lazy max-heap holds candidate links between path *endpoints*.
+    When a link merges two paths, the weight from any outside node to
+    the merged path is the minimum of its weights to the two parts —
+    maintained implicitly: a candidate is pushed with weight
+    ``min(w(v, u) for u in path(v's target))`` evaluated lazily at pop
+    time, so stale entries are simply re-validated.
+    """
+    m = csm.shape[0]
+    forest = _PathForest(m)
+    # component id -> set of member nodes, for min-linkage evaluation.
+    members: dict[int, list[int]] = {i: [i] for i in range(m)}
+
+    def min_linkage(v: int, target_root: int) -> float:
+        return min(csm[v, u] for u in members[target_root])
+
+    heap: list[tuple[float, int, int]] = []
+    for w, i, j in similarity_edges(csm):
+        heapq.heappush(heap, (-w, i, j))
+    while heap:
+        neg_w, i, j = heapq.heappop(heap)
+        if not forest.can_link(i, j):
+            continue
+        ri, rj = forest.find(i), forest.find(j)
+        current = min(min_linkage(i, rj), min_linkage(j, ri))
+        if current <= 0:
+            continue
+        if current < -neg_w:
+            # Weight decayed under min-linkage: re-queue with the
+            # corrected value and let the heap re-rank it.
+            heapq.heappush(heap, (-current, i, j))
+            continue
+        forest.link(i, j)
+        new_root = forest.find(i)
+        merged = members.pop(ri) + members.pop(rj)
+        members[new_root] = merged
+    order = [c for path in forest.extract_paths() for c in path]
+    return np.asarray(order, dtype=np.int64)

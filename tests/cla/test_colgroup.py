@@ -1,0 +1,135 @@
+"""Tests for the CLA column-group formats."""
+
+import numpy as np
+import pytest
+
+from repro.cla.colgroup import (
+    GROUP_FORMATS,
+    ColumnGroupDDC,
+    ColumnGroupOLE,
+    ColumnGroupRLE,
+    ColumnGroupUC,
+)
+from repro.errors import MatrixFormatError
+from tests.conftest import make_structured
+
+
+@pytest.fixture(params=list(GROUP_FORMATS), ids=lambda f: f.format_name)
+def group_format(request):
+    return request.param
+
+
+@pytest.fixture
+def matrix(rng):
+    return make_structured(rng, n=80, m=6, density=0.5, pool=4)
+
+
+class TestEncodingRoundtrip:
+    def test_dense_block_roundtrip(self, matrix, group_format):
+        group = group_format.from_dense(matrix, [1, 3, 4])
+        assert np.array_equal(group.to_dense_block(), matrix[:, [1, 3, 4]])
+
+    def test_single_column(self, matrix, group_format):
+        group = group_format.from_dense(matrix, [0])
+        assert np.array_equal(group.to_dense_block().ravel(), matrix[:, 0])
+
+    def test_all_zero_columns(self, group_format):
+        matrix = np.zeros((30, 3))
+        group = group_format.from_dense(matrix, [0, 2])
+        assert np.array_equal(group.to_dense_block(), matrix[:, [0, 2]])
+
+    def test_empty_columns_rejected(self, matrix, group_format):
+        with pytest.raises(MatrixFormatError):
+            group_format.from_dense(matrix, [])
+
+
+class TestMultiplication:
+    def test_right_contribution(self, matrix, group_format, rng):
+        cols = [0, 2, 5]
+        group = group_format.from_dense(matrix, cols)
+        x = rng.standard_normal(matrix.shape[1])
+        y = np.zeros(matrix.shape[0])
+        group.right_mvm(x, y)
+        assert np.allclose(y, matrix[:, cols] @ x[cols])
+
+    def test_left_contribution(self, matrix, group_format, rng):
+        cols = [1, 4]
+        group = group_format.from_dense(matrix, cols)
+        y = rng.standard_normal(matrix.shape[0])
+        x = np.zeros(matrix.shape[1])
+        group.left_mvm(y, x)
+        expected = np.zeros(matrix.shape[1])
+        expected[cols] = y @ matrix[:, cols]
+        assert np.allclose(x, expected)
+
+    def test_accumulation_into_existing_output(self, matrix, group_format):
+        group = group_format.from_dense(matrix, [0])
+        x = np.ones(matrix.shape[1])
+        y = np.full(matrix.shape[0], 10.0)
+        group.right_mvm(x, y)
+        assert np.allclose(y, 10.0 + matrix[:, 0])
+
+    def test_all_formats_agree(self, matrix, rng):
+        cols = [0, 1, 2]
+        x = rng.standard_normal(matrix.shape[1])
+        outputs = []
+        for fmt in GROUP_FORMATS:
+            y = np.zeros(matrix.shape[0])
+            fmt.from_dense(matrix, cols).right_mvm(x, y)
+            outputs.append(y)
+        for out in outputs[1:]:
+            assert np.allclose(out, outputs[0])
+
+
+class TestFormatSpecificBehaviour:
+    def test_ddc_code_width_grows_with_dictionary(self):
+        # <=256 distinct tuples -> 1-byte codes.
+        small = ColumnGroupDDC.from_dense(
+            np.arange(100, dtype=np.float64).reshape(-1, 1) % 7, [0]
+        )
+        assert small.size_bytes() == 8 * 7 + 1 * 100
+
+    def test_ole_skips_zero_tuple(self):
+        matrix = np.zeros((100, 1))
+        matrix[:5, 0] = 3.0
+        group = ColumnGroupOLE.from_dense(matrix, [0])
+        # Only the 5 non-zero rows are stored.
+        assert group.rows_concat.size == 5
+
+    def test_rle_run_detection(self):
+        column = np.array([5.0] * 50 + [0.0] * 30 + [5.0] * 20).reshape(-1, 1)
+        group = ColumnGroupRLE.from_dense(column, [0])
+        # Two non-zero runs.
+        assert group.run_starts.size == 2
+        assert group.run_ends.tolist() == [50, 100]
+
+    def test_rle_wins_on_sorted_data(self):
+        column = np.repeat([1.0, 2.0, 3.0, 4.0], 250).reshape(-1, 1)
+        sizes = {
+            fmt.format_name: fmt.from_dense(column, [0]).size_bytes()
+            for fmt in GROUP_FORMATS
+        }
+        assert sizes["RLE"] == min(sizes.values())
+
+    def test_ole_wins_on_sparse_scattered_data(self, rng):
+        column = np.zeros((3000, 1))
+        hits = rng.choice(3000, size=90, replace=False)
+        column[hits, 0] = 7.0
+        sizes = {
+            fmt.format_name: fmt.from_dense(column, [0]).size_bytes()
+            for fmt in GROUP_FORMATS
+        }
+        assert sizes["OLE"] == min(sizes.values())
+
+    def test_ddc_wins_on_dense_low_cardinality(self, rng):
+        column = rng.choice([1.5, 2.5, 3.5], size=(2000, 1))
+        sizes = {
+            fmt.format_name: fmt.from_dense(column, [0]).size_bytes()
+            for fmt in GROUP_FORMATS
+        }
+        assert sizes["DDC"] <= sizes["UC"]
+        assert sizes["DDC"] <= sizes["OLE"]
+
+    def test_uc_size_is_raw_bytes(self, matrix):
+        group = ColumnGroupUC.from_dense(matrix, [0, 1])
+        assert group.size_bytes() == 8 * matrix.shape[0] * 2

@@ -1,0 +1,97 @@
+"""Tests for empirical order-k entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.csrv import CSRVMatrix
+from repro.core.entropy import empirical_entropy, entropy_bound_bits
+from repro.core.repair import repair_compress
+from repro.errors import MatrixFormatError
+
+
+class TestH0:
+    def test_uniform_two_symbols(self):
+        assert empirical_entropy(np.array([0, 1, 0, 1])) == pytest.approx(1.0)
+
+    def test_single_symbol_zero_entropy(self):
+        assert empirical_entropy(np.array([7] * 100)) == pytest.approx(0.0)
+
+    def test_uniform_four_symbols(self):
+        assert empirical_entropy(np.array([0, 1, 2, 3])) == pytest.approx(2.0)
+
+    def test_skewed_below_uniform(self):
+        seq = np.array([0] * 90 + [1] * 10)
+        assert 0 < empirical_entropy(seq) < 1.0
+
+    def test_empty_sequence(self):
+        assert empirical_entropy(np.array([], dtype=int)) == 0.0
+
+    def test_upper_bound_log_sigma(self):
+        rng = np.random.default_rng(0)
+        seq = rng.integers(0, 16, size=5000)
+        assert empirical_entropy(seq) <= 4.0 + 1e-9
+
+
+class TestHk:
+    def test_perfectly_predictable_context(self):
+        # Alternating sequence: knowing 1 symbol determines the next.
+        seq = np.array([0, 1] * 50)
+        assert empirical_entropy(seq, k=1) == pytest.approx(0.0)
+
+    def test_hk_never_exceeds_h0(self):
+        rng = np.random.default_rng(1)
+        seq = rng.integers(0, 8, size=3000)
+        h0 = empirical_entropy(seq)
+        for k in (1, 2, 3):
+            assert empirical_entropy(seq, k) <= h0 + 1e-9
+
+    def test_hk_monotone_decreasing_on_markov_input(self):
+        # A periodic sequence: longer contexts can only help.
+        seq = np.array([0, 1, 2, 0, 1, 2] * 60)
+        h = [empirical_entropy(seq, k) for k in range(4)]
+        assert h[0] > h[1] >= h[2] >= h[3]
+
+    def test_k_larger_than_sequence(self):
+        assert empirical_entropy(np.array([1, 2, 3]), k=10) == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            empirical_entropy(np.array([1, 2]), k=-1)
+
+    def test_known_markov_value(self):
+        # 'aab' repeated: after context 'a' the follower is a or b with
+        # equal probability 1/2 -> those positions contribute 1 bit;
+        # after 'b' always 'a' (0 bits).  H_1 = (2/3)*1 = 0.666...
+        seq = np.array([0, 0, 1] * 200)
+        h1 = empirical_entropy(seq, k=1)
+        assert h1 == pytest.approx(2.0 / 3.0, rel=0.02)
+
+
+class TestCompressionBound:
+    def test_repair_size_tracks_entropy(self, structured_matrix):
+        # Sanity check of the paper's bound direction: the grammar for a
+        # low-entropy CSRV sequence is far below the raw 32-bit size.
+        csrv = CSRVMatrix.from_dense(np.tile(structured_matrix, (5, 1)))
+        grammar = repair_compress(csrv.s)
+        grammar_bits = 32 * grammar.size
+        raw_bits = 32 * csrv.s.size
+        assert grammar_bits < raw_bits
+        # And H_k decreases with k, so the bound only gets tighter.
+        assert entropy_bound_bits(csrv.s, 2) <= entropy_bound_bits(csrv.s, 0) + 1e-6
+
+    def test_bound_bits_scales_with_length(self):
+        seq = np.array([0, 1] * 100)
+        assert entropy_bound_bits(seq) == pytest.approx(200.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seq=st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=300),
+    k=st.integers(min_value=0, max_value=3),
+)
+def test_property_entropy_bounds(seq, k):
+    arr = np.asarray(seq)
+    h = empirical_entropy(arr, k)
+    assert 0.0 <= h <= np.log2(len(set(seq))) + 1e-9 if len(set(seq)) > 1 else h == 0.0

@@ -1,0 +1,142 @@
+"""Tests for the SLP grammar model."""
+
+import numpy as np
+import pytest
+
+from repro.core.grammar import Grammar
+from repro.errors import GrammarError
+
+
+def _tiny_grammar():
+    # Terminals 1..4, nt_base = 5.
+    # N0 -> 1 2 ; N1 -> N0 3 ; C = N1 $ N0 $ 4 $
+    return Grammar(
+        nt_base=5,
+        rules=np.array([[1, 2], [5, 3]]),
+        final=np.array([6, 0, 5, 0, 4, 0]),
+    )
+
+
+class TestBasics:
+    def test_sizes(self):
+        g = _tiny_grammar()
+        assert g.n_rules == 2
+        assert g.n_rows == 3
+        assert g.size == 6 + 4  # |C| + 2|R|
+
+    def test_max_symbol(self):
+        assert _tiny_grammar().max_symbol == 6
+
+    def test_is_nonterminal(self):
+        g = _tiny_grammar()
+        assert g.is_nonterminal(5)
+        assert not g.is_nonterminal(4)
+        mask = g.is_nonterminal(np.array([1, 5, 6]))
+        assert mask.tolist() == [False, True, True]
+
+    def test_empty_grammar(self):
+        g = Grammar(nt_base=3, rules=np.zeros((0, 2)), final=np.array([1, 0, 2, 0]))
+        g.validate()
+        assert g.n_rules == 0
+        assert g.depth == 0
+        assert np.array_equal(g.expand(), [1, 0, 2, 0])
+
+
+class TestExpansion:
+    def test_expand_symbol_terminal(self):
+        assert _tiny_grammar().expand_symbol(3).tolist() == [3]
+
+    def test_expand_symbol_nested(self):
+        g = _tiny_grammar()
+        assert g.expand_symbol(5).tolist() == [1, 2]
+        assert g.expand_symbol(6).tolist() == [1, 2, 3]
+
+    def test_expand_full(self):
+        g = _tiny_grammar()
+        assert g.expand().tolist() == [1, 2, 3, 0, 1, 2, 0, 4, 0]
+
+    def test_expansion_lengths(self):
+        assert _tiny_grammar().expansion_lengths().tolist() == [2, 3]
+
+    def test_deep_chain_expansion(self):
+        # N_i -> N_{i-1} t : expansion length grows linearly, depth = q.
+        q = 200
+        rules = [[1, 2]]
+        for i in range(1, q):
+            rules.append([2 + i, 1])  # nt_base=3, so rule i-1 has id 3+i-1
+        g = Grammar(nt_base=3, rules=np.array(rules), final=np.array([3 + q - 1, 0]))
+        g.validate()
+        assert g.expansion_lengths()[-1] == q + 1
+        assert g.depth == q
+        assert g.expand().size == q + 2
+
+
+class TestValidation:
+    def test_valid_grammar_passes(self):
+        _tiny_grammar().validate()
+
+    def test_forward_reference_rejected(self):
+        g = Grammar(nt_base=5, rules=np.array([[6, 1], [1, 2]]), final=np.array([5, 0, 6, 0]))
+        with pytest.raises(GrammarError):
+            g.validate()
+
+    def test_self_reference_rejected(self):
+        g = Grammar(nt_base=5, rules=np.array([[5, 1]]), final=np.array([5, 0]))
+        with pytest.raises(GrammarError):
+            g.validate()
+
+    def test_separator_in_rule_rejected(self):
+        g = Grammar(nt_base=5, rules=np.array([[0, 1]]), final=np.array([5, 0]))
+        with pytest.raises(GrammarError):
+            g.validate()
+
+    def test_undefined_rule_in_final_rejected(self):
+        g = Grammar(nt_base=5, rules=np.array([[1, 2]]), final=np.array([7, 0]))
+        with pytest.raises(GrammarError):
+            g.validate()
+
+    def test_useless_rule_rejected(self):
+        # N1 is never used anywhere.
+        g = Grammar(
+            nt_base=5,
+            rules=np.array([[1, 2], [3, 4]]),
+            final=np.array([5, 0]),
+        )
+        with pytest.raises(GrammarError, match="unreachable"):
+            g.validate()
+
+    def test_rule_reachable_through_other_rule(self):
+        # N0 only referenced by N1, N1 in C — both reachable.
+        g = Grammar(
+            nt_base=5,
+            rules=np.array([[1, 2], [5, 3]]),
+            final=np.array([6, 0]),
+        )
+        g.validate()
+
+    def test_bad_nt_base(self):
+        g = Grammar(nt_base=0, rules=np.zeros((0, 2)), final=np.array([0]))
+        with pytest.raises(GrammarError):
+            g.validate()
+
+
+class TestLevels:
+    def test_flat_rules_are_level_one(self):
+        g = Grammar(
+            nt_base=5, rules=np.array([[1, 2], [3, 4]]), final=np.array([5, 6, 0])
+        )
+        assert g.rule_levels().tolist() == [1, 1]
+
+    def test_nested_levels(self):
+        g = _tiny_grammar()
+        assert g.rule_levels().tolist() == [1, 2]
+        assert g.depth == 2
+
+    def test_dag_level_is_max_of_children(self):
+        # N2 -> N0 N1 where N0 level 1, N1 level 2.
+        g = Grammar(
+            nt_base=5,
+            rules=np.array([[1, 2], [5, 3], [5, 6]]),
+            final=np.array([7, 0]),
+        )
+        assert g.rule_levels().tolist() == [1, 2, 3]

@@ -1,0 +1,153 @@
+"""Tests for the synthetic dataset layer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import PROFILES, get_dataset, list_datasets
+from repro.datasets.profiles import DATASET_ORDER
+from repro.datasets.synthetic import generate_matrix
+from repro.errors import MatrixFormatError
+
+
+class TestRegistry:
+    def test_seven_paper_datasets(self):
+        assert len(list_datasets()) == 7
+        assert set(list_datasets()) == set(PROFILES)
+
+    def test_order_matches_table1(self):
+        assert list_datasets() == DATASET_ORDER
+        assert list_datasets()[0] == "susy"
+        assert list_datasets()[-1] == "mnist2m"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            get_dataset("imagenet")
+
+    def test_bundle_fields(self):
+        ds = get_dataset("covtype", n_rows=200)
+        assert ds.name == "covtype"
+        assert ds.shape == (200, 54)
+        assert ds.profile is PROFILES["covtype"]
+
+    def test_caching_returns_same_object(self):
+        a = get_dataset("census", n_rows=150)
+        b = get_dataset("census", n_rows=150)
+        assert a is b
+
+    def test_different_seed_different_data(self):
+        a = get_dataset("census", n_rows=150, seed=0)
+        b = get_dataset("census", n_rows=150, seed=1)
+        assert not np.array_equal(a.matrix, b.matrix)
+
+    def test_matrix_is_readonly(self):
+        ds = get_dataset("higgs", n_rows=100)
+        with pytest.raises(ValueError):
+            ds.matrix[0, 0] = 5.0
+
+
+class TestGeneratorFidelity:
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_density_matches_profile(self, name):
+        ds = get_dataset(name, n_rows=800)
+        measured = ds.stats()["density"]
+        assert measured == pytest.approx(ds.profile.density, abs=0.04)
+
+    @pytest.mark.parametrize("name", DATASET_ORDER)
+    def test_column_count_matches_paper(self, name):
+        ds = get_dataset(name, n_rows=100)
+        assert ds.shape[1] == ds.profile.paper_cols
+
+    def test_global_pool_bounds_distinct_values(self):
+        ds = get_dataset("census", n_rows=1000)
+        assert ds.stats()["distinct"] <= 45
+
+    def test_mnist_pool_bound(self):
+        ds = get_dataset("mnist2m", n_rows=500)
+        assert ds.stats()["distinct"] <= 255
+
+    def test_susy_has_many_distinct_values(self):
+        ds = get_dataset("susy", n_rows=800)
+        # Near-continuous: distinct ≈ distinct_fraction · nnz.
+        stats = ds.stats()
+        assert stats["distinct"] > 0.1 * stats["nnz"]
+
+    def test_deterministic_generation(self):
+        p = PROFILES["airline78"]
+        a = generate_matrix(p, n_rows=300, seed=7)
+        b = generate_matrix(p, n_rows=300, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_datasets_use_distinct_streams(self):
+        a = generate_matrix(PROFILES["covtype"], n_rows=100, seed=0)
+        b = generate_matrix(PROFILES["census"], n_rows=100, seed=0)
+        assert a.shape != b.shape or not np.array_equal(a, b)
+
+    def test_invalid_rows_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            generate_matrix(PROFILES["susy"], n_rows=0)
+
+
+class TestMakeProfile:
+    def test_custom_profile_generates(self):
+        from repro.datasets import make_profile
+
+        profile = make_profile("mine", cols=12, density=0.4, global_pool=20)
+        matrix = generate_matrix(profile, n_rows=300, seed=1)
+        assert matrix.shape == (300, 12)
+        nnz = np.count_nonzero(matrix)
+        assert abs(nnz / matrix.size - 0.4) < 0.08
+        assert np.unique(matrix[matrix != 0]).size <= 20
+
+    def test_correlation_knob_changes_compressibility(self):
+        from repro.core.gcm import GrammarCompressedMatrix
+        from repro.datasets import make_profile
+
+        sizes = {}
+        for label, fc in (("independent", 0.0), ("correlated", 1.0)):
+            profile = make_profile(
+                "knob", cols=16, density=0.8, global_pool=12,
+                frac_correlated=fc, scatter_columns=False,
+                master_correlation=0.8,
+            )
+            matrix = generate_matrix(profile, n_rows=400, seed=2)
+            sizes[label] = GrammarCompressedMatrix.compress(matrix).size_bytes()
+        assert sizes["correlated"] < sizes["independent"]
+
+    def test_invalid_parameters_rejected(self):
+        from repro.datasets import make_profile
+
+        with pytest.raises(MatrixFormatError):
+            make_profile("x", cols=5, density=0.0)
+        with pytest.raises(MatrixFormatError):
+            make_profile("x", cols=5, density=0.5, frac_correlated=1.5)
+        with pytest.raises(MatrixFormatError):
+            make_profile("x", cols=0, density=0.5)
+
+
+class TestCompressionStructure:
+    def test_census_compresses_much_better_than_susy(self):
+        # The key Table 1 contrast: correlated categorical data vs
+        # near-unique floats.
+        from repro.core.gcm import GrammarCompressedMatrix
+
+        census = get_dataset("census", n_rows=600)
+        susy = get_dataset("susy", n_rows=600)
+        ratios = {}
+        for ds in (census, susy):
+            gm = GrammarCompressedMatrix.compress(np.asarray(ds.matrix))
+            ratios[ds.name] = gm.size_bytes() / (ds.matrix.size * 8)
+        assert ratios["census"] < ratios["susy"] / 3
+
+    def test_scattered_datasets_gain_from_reordering(self):
+        from repro.core.csrv import CSRVMatrix
+        from repro.core.gcm import GrammarCompressedMatrix
+        from repro.reorder import reorder_columns
+
+        ds = get_dataset("airline78", n_rows=600)
+        matrix = np.asarray(ds.matrix)
+        base = GrammarCompressedMatrix.compress(matrix).size_bytes()
+        order = reorder_columns(matrix, method="pathcover", k=8)
+        reordered = GrammarCompressedMatrix.compress(
+            CSRVMatrix.from_dense(matrix, column_order=order)
+        ).size_bytes()
+        assert reordered < base

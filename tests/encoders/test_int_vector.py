@@ -1,0 +1,161 @@
+"""Tests for the bit-packed IntVector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoders.int_vector import IntVector, bits_required
+from repro.errors import EncodingError
+
+
+class TestBitsRequired:
+    def test_zero_needs_one_bit(self):
+        assert bits_required(0) == 1
+
+    def test_one_needs_one_bit(self):
+        assert bits_required(1) == 1
+
+    def test_powers_of_two(self):
+        assert bits_required(2) == 2
+        assert bits_required(3) == 2
+        assert bits_required(4) == 3
+        assert bits_required(255) == 8
+        assert bits_required(256) == 9
+
+    def test_matches_paper_width_rule(self):
+        # The paper uses w = 1 + floor(log2(N_max)).
+        for n_max in (1, 5, 100, 65_535, 1 << 30):
+            assert bits_required(n_max) == 1 + int(np.floor(np.log2(n_max)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            bits_required(-1)
+
+
+class TestIntVectorBasics:
+    def test_roundtrip_small(self):
+        iv = IntVector([3, 0, 7, 5])
+        assert list(iv) == [3, 0, 7, 5]
+
+    def test_len(self):
+        assert len(IntVector([1, 2, 3])) == 3
+
+    def test_empty(self):
+        iv = IntVector([])
+        assert len(iv) == 0
+        assert iv.to_numpy().size == 0
+
+    def test_minimum_width_chosen(self):
+        assert IntVector([0, 1]).width == 1
+        assert IntVector([7]).width == 3
+        assert IntVector([8]).width == 4
+
+    def test_explicit_width(self):
+        iv = IntVector([1, 2, 3], width=16)
+        assert iv.width == 16
+        assert list(iv) == [1, 2, 3]
+
+    def test_value_too_large_for_width(self):
+        with pytest.raises(EncodingError):
+            IntVector([16], width=4)
+
+    def test_width_out_of_range(self):
+        with pytest.raises(EncodingError):
+            IntVector([1], width=0)
+        with pytest.raises(EncodingError):
+            IntVector([1], width=65)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(EncodingError):
+            IntVector(np.array([1.5, 2.5]))
+
+    def test_random_access(self):
+        data = [5, 9, 0, 1023, 512]
+        iv = IntVector(data)
+        for i, v in enumerate(data):
+            assert iv[i] == v
+
+    def test_negative_index(self):
+        iv = IntVector([10, 20, 30])
+        assert iv[-1] == 30
+        assert iv[-3] == 10
+
+    def test_index_out_of_range(self):
+        iv = IntVector([1, 2])
+        with pytest.raises(IndexError):
+            iv[2]
+        with pytest.raises(IndexError):
+            iv[-3]
+
+    def test_slice_returns_array(self):
+        iv = IntVector([1, 2, 3, 4])
+        assert np.array_equal(iv[1:3], [2, 3])
+
+    def test_equality(self):
+        assert IntVector([1, 2, 3]) == IntVector([1, 2, 3])
+        assert IntVector([1, 2, 3]) != IntVector([1, 2, 4])
+        assert IntVector([1], width=2) != IntVector([1], width=3)
+
+    def test_repr(self):
+        assert "width=3" in repr(IntVector([7]))
+
+
+class TestIntVectorPacking:
+    def test_word_straddling_entries(self):
+        # width 20: entries straddle 64-bit word boundaries from index 3 on.
+        data = [(1 << 20) - 1 - i for i in range(40)]
+        iv = IntVector(data, width=20)
+        assert iv.to_numpy().tolist() == data
+
+    def test_width_64(self):
+        data = [0, (1 << 64) - 1, 12345678901234567890]
+        iv = IntVector(np.array(data, dtype=np.uint64), width=64)
+        assert [int(v) for v in iv.to_numpy(dtype=np.uint64)] == data
+
+    def test_packed_smaller_than_plain(self):
+        # 10-bit entries: packed must be ~10/32 of a 32-bit layout.
+        n = 1000
+        iv = IntVector(np.arange(n) % 1024, width=10)
+        assert iv.size_bytes() < 4 * n // 2
+
+    def test_size_bytes_counts_words_and_header(self):
+        iv = IntVector([1] * 64, width=1)  # exactly one word
+        assert iv.size_bytes() == 8 + IntVector.HEADER_BYTES
+
+
+class TestIntVectorSerialization:
+    def test_bytes_roundtrip(self):
+        iv = IntVector([9, 8, 7, 1000], width=12)
+        back = IntVector.from_bytes(iv.to_bytes())
+        assert back == iv
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(EncodingError):
+            IntVector.from_bytes(b"\x01\x02")
+
+    def test_truncated_payload_rejected(self):
+        blob = IntVector([1] * 100, width=7).to_bytes()
+        with pytest.raises(EncodingError):
+            IntVector.from_bytes(blob[:-4])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=(1 << 40) - 1), max_size=200)
+)
+def test_property_roundtrip(values):
+    iv = IntVector(values)
+    assert iv.to_numpy(dtype=np.uint64).tolist() == values
+    assert IntVector.from_bytes(iv.to_bytes()) == iv
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64),
+    extra_width=st.integers(min_value=0, max_value=10),
+)
+def test_property_any_sufficient_width(values, extra_width):
+    width = max(int(v).bit_length() for v in values) or 1
+    iv = IntVector(values, width=width + extra_width)
+    assert iv.to_numpy().tolist() == values

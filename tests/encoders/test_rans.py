@@ -1,0 +1,144 @@
+"""Tests for the large-alphabet rANS coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import empirical_entropy
+from repro.encoders.rans import (
+    RansDecoder,
+    RansEncoder,
+    ans_compress,
+    ans_decompress,
+    normalize_frequencies,
+)
+from repro.errors import EncodingError
+
+
+class TestNormalizeFrequencies:
+    def test_sums_to_scale(self):
+        freqs = normalize_frequencies(np.array([5, 3, 2]), scale_bits=12)
+        assert freqs.sum() == 1 << 12
+
+    def test_every_symbol_kept(self):
+        # A very rare symbol must still get frequency >= 1.
+        counts = np.array([1, 10_000_000])
+        freqs = normalize_frequencies(counts, scale_bits=8)
+        assert freqs[0] >= 1
+        assert freqs.sum() == 256
+
+    def test_proportions_preserved(self):
+        freqs = normalize_frequencies(np.array([1, 1, 2]), scale_bits=12)
+        assert freqs[2] == pytest.approx(2 * freqs[0], rel=0.01)
+
+    def test_single_symbol(self):
+        freqs = normalize_frequencies(np.array([42]), scale_bits=12)
+        assert freqs.tolist() == [1 << 12]
+
+    def test_alphabet_too_large(self):
+        with pytest.raises(EncodingError):
+            normalize_frequencies(np.ones(300, dtype=int), scale_bits=8)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(EncodingError):
+            normalize_frequencies(np.array([3, 0]), scale_bits=12)
+
+    def test_empty(self):
+        assert normalize_frequencies(np.array([], dtype=int), 12).size == 0
+
+
+class TestRansCore:
+    def test_encode_decode_roundtrip(self):
+        rng = np.random.default_rng(0)
+        freqs = normalize_frequencies(np.array([50, 30, 15, 5]), 12)
+        symbols = rng.integers(0, 4, size=500)
+        enc = RansEncoder(freqs, 12)
+        dec = RansDecoder(freqs, 12)
+        assert np.array_equal(dec.decode(enc.encode(symbols), 500), symbols)
+
+    def test_single_symbol_stream_is_tiny(self):
+        freqs = normalize_frequencies(np.array([100]), 12)
+        blob = RansEncoder(freqs, 12).encode(np.zeros(10_000, dtype=int))
+        # Zero entropy: only the 4-byte final state is emitted.
+        assert len(blob) == 4
+        out = RansDecoder(freqs, 12).decode(blob, 10_000)
+        assert np.array_equal(out, np.zeros(10_000))
+
+    def test_wrong_frequency_sum_rejected(self):
+        with pytest.raises(EncodingError):
+            RansEncoder(np.array([10, 10]), scale_bits=12)
+
+    def test_truncated_stream_detected(self):
+        freqs = normalize_frequencies(np.array([1, 1]), 12)
+        rng = np.random.default_rng(1)
+        blob = RansEncoder(freqs, 12).encode(rng.integers(0, 2, size=1000))
+        with pytest.raises(EncodingError):
+            RansDecoder(freqs, 12).decode(blob[:3], 1000)
+
+    def test_decode_zero_symbols(self):
+        freqs = normalize_frequencies(np.array([1, 1]), 12)
+        assert RansDecoder(freqs, 12).decode(b"", 0).size == 0
+
+
+class TestAnsBlob:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 50, size=2000)
+        assert np.array_equal(ans_decompress(ans_compress(values)), values)
+
+    def test_large_sparse_alphabet(self):
+        # Symbol ids far apart (like RePair nonterminals).
+        rng = np.random.default_rng(3)
+        alphabet = np.sort(rng.choice(1 << 30, size=200, replace=False))
+        values = alphabet[rng.integers(0, 200, size=3000)]
+        assert np.array_equal(ans_decompress(ans_compress(values)), values)
+
+    def test_empty(self):
+        assert ans_decompress(ans_compress(np.array([], dtype=int))).size == 0
+
+    def test_single_value(self):
+        values = np.array([7])
+        assert np.array_equal(ans_decompress(ans_compress(values)), values)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            ans_compress(np.array([-1, 2]))
+
+    def test_scale_bits_auto_raised(self):
+        # 5000 distinct symbols cannot fit into 2^12 slots; the coder
+        # must raise the quantisation transparently.
+        values = np.arange(5000)
+        assert np.array_equal(ans_decompress(ans_compress(values)), values)
+
+    def test_compression_tracks_entropy(self):
+        # A skewed stream must compress close to its H_0; allow coder +
+        # header overhead.
+        rng = np.random.default_rng(4)
+        values = rng.choice(8, size=20_000, p=[0.6, 0.2, 0.1, 0.04, 0.03, 0.01, 0.01, 0.01])
+        blob = ans_compress(values)
+        payload_bits = 8 * len(blob)
+        entropy_bits = values.size * empirical_entropy(values)
+        assert payload_bits < 1.10 * entropy_bits + 8 * 200
+
+    def test_beats_fixed_width_on_skewed_data(self):
+        rng = np.random.default_rng(5)
+        values = rng.choice(256, size=10_000, p=_skewed(256))
+        blob = ans_compress(values)
+        assert len(blob) < 10_000  # < 1 byte/symbol despite 8-bit alphabet
+
+
+def _skewed(k):
+    p = 1.0 / np.arange(1, k + 1) ** 2
+    return p / p.sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.integers(min_value=0, max_value=100_000), min_size=0, max_size=400
+    )
+)
+def test_property_blob_roundtrip(values):
+    arr = np.asarray(values, dtype=np.int64)
+    assert np.array_equal(ans_decompress(ans_compress(arr)), arr)

@@ -1,0 +1,68 @@
+"""Tests for LEB128 varints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoders.varint import decode_uvarint, encode_uvarint
+from repro.errors import EncodingError
+
+
+class TestEncode:
+    def test_zero(self):
+        assert encode_uvarint(0) == b"\x00"
+
+    def test_single_byte_boundary(self):
+        assert encode_uvarint(127) == b"\x7f"
+        assert encode_uvarint(128) == b"\x80\x01"
+
+    def test_known_value(self):
+        assert encode_uvarint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_uvarint(-1)
+
+
+class TestDecode:
+    def test_known_value(self):
+        assert decode_uvarint(b"\xac\x02") == (300, 2)
+
+    def test_offset(self):
+        data = b"\xff" + encode_uvarint(5)
+        assert decode_uvarint(data, offset=1) == (5, 2)
+
+    def test_truncated(self):
+        with pytest.raises(EncodingError):
+            decode_uvarint(b"\x80")
+
+    def test_empty(self):
+        with pytest.raises(EncodingError):
+            decode_uvarint(b"")
+
+    def test_overlong_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_uvarint(b"\x80" * 11 + b"\x01")
+
+    def test_sequence_of_varints(self):
+        data = encode_uvarint(1) + encode_uvarint(1000) + encode_uvarint(0)
+        v1, p = decode_uvarint(data)
+        v2, p = decode_uvarint(data, p)
+        v3, p = decode_uvarint(data, p)
+        assert (v1, v2, v3) == (1, 1000, 0)
+        assert p == len(data)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 63) - 1))
+def test_property_roundtrip(value):
+    encoded = encode_uvarint(value)
+    decoded, consumed = decode_uvarint(encoded)
+    assert decoded == value
+    assert consumed == len(encoded)
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_property_length_monotone(value):
+    # Longer values never encode shorter than smaller values of the
+    # same byte class.
+    assert len(encode_uvarint(value)) == max(1, -(-value.bit_length() // 7))

@@ -1,0 +1,157 @@
+"""Edge-case and failure-injection tests across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BlockedMatrix,
+    CLAMatrix,
+    CSRVMatrix,
+    GrammarCompressedMatrix,
+)
+from repro.core.repair import repair_compress
+from repro.encoders.rans import ans_compress, ans_decompress
+from repro.errors import EncodingError, ReproError
+
+
+class TestDegenerateMatrices:
+    @pytest.mark.parametrize("variant", ["re_32", "re_iv", "re_ans"])
+    def test_one_by_one(self, variant):
+        for value in (0.0, 1.5, -3.25):
+            matrix = np.array([[value]])
+            gm = GrammarCompressedMatrix.compress(matrix, variant=variant)
+            assert np.array_equal(gm.to_dense(), matrix)
+            assert np.allclose(gm.right_multiply([2.0]), [2.0 * value])
+
+    def test_single_dense_row_of_identical_values(self):
+        matrix = np.full((1, 100), 7.0)
+        gm = GrammarCompressedMatrix.compress(matrix)
+        assert np.allclose(gm.left_multiply([3.0]), np.full(100, 21.0))
+
+    def test_single_column_alternating(self):
+        matrix = np.array([[1.0], [2.0]] * 50)
+        gm = GrammarCompressedMatrix.compress(matrix)
+        # Column vectors: each row has one pair; RePair cannot pair
+        # across the $ separators, so the grammar stays rule-free.
+        assert gm.n_rules == 0
+        assert np.array_equal(gm.to_dense(), matrix)
+
+    def test_negative_values(self, rng):
+        matrix = rng.choice([-2.5, -1.0, 3.0], size=(40, 6))
+        gm = GrammarCompressedMatrix.compress(matrix)
+        x = rng.standard_normal(6)
+        assert np.allclose(gm.right_multiply(x), matrix @ x)
+
+    def test_extreme_magnitudes(self):
+        matrix = np.array([[1e300, 1e-300], [1e300, 1e-300]])
+        gm = GrammarCompressedMatrix.compress(matrix)
+        assert np.array_equal(gm.to_dense(), matrix)
+
+    def test_nan_propagates_like_numpy(self):
+        # NaN is a legal double; the compressed operator must propagate
+        # it exactly as the dense multiplication does.
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        gm = GrammarCompressedMatrix.compress(matrix)
+        y = gm.right_multiply(np.array([np.nan, 1.0]))
+        assert np.isnan(y).all()
+
+    def test_wide_matrix(self, rng):
+        matrix = rng.choice([0.0, 1.0, 2.0], size=(3, 500))
+        gm = GrammarCompressedMatrix.compress(matrix)
+        x = rng.standard_normal(500)
+        assert np.allclose(gm.right_multiply(x), matrix @ x)
+
+    def test_tall_matrix(self, rng):
+        matrix = rng.choice([0.0, 1.0], size=(500, 2))
+        bm = BlockedMatrix.compress(matrix, variant="re_iv", n_blocks=7)
+        y = rng.standard_normal(500)
+        assert np.allclose(bm.left_multiply(y), y @ matrix)
+
+
+class TestAdversarialSequences:
+    def test_repair_on_row_of_identical_pairs(self):
+        # A single row "aaaa...a$" exercises overlap handling heavily.
+        matrix = np.full((1, 64), 2.0)
+        csrv = CSRVMatrix.from_dense(matrix)
+        grammar = repair_compress(csrv.s)
+        grammar.validate()
+        assert np.array_equal(grammar.expand(), csrv.s)
+
+    def test_repair_on_fibonacci_like_repetition(self):
+        # Nested doubling structure: depth grows, expansion correct.
+        seq = [1, 2]
+        for _ in range(7):
+            seq = seq + seq
+        grammar = repair_compress(np.asarray(seq))
+        grammar.validate()
+        assert grammar.expand().tolist() == seq
+        assert grammar.depth >= 5
+
+    def test_all_rows_identical_maximal_sharing(self, rng):
+        row = rng.choice([1.0, 2.0, 3.0], size=12)
+        matrix = np.tile(row, (200, 1))
+        gm = GrammarCompressedMatrix.compress(matrix, variant="re_ans")
+        # 200 identical rows: the grammar must be tiny.
+        assert gm.size_bytes() < CSRVMatrix.from_dense(matrix).size_bytes() / 10
+        y = rng.standard_normal(200)
+        assert np.allclose(gm.left_multiply(y), y @ matrix)
+
+    def test_checkerboard(self):
+        matrix = np.indices((40, 12)).sum(axis=0) % 2 * 3.5
+        gm = GrammarCompressedMatrix.compress(matrix)
+        assert np.array_equal(gm.to_dense(), matrix)
+
+
+class TestFailureInjection:
+    def test_rans_truncation_detected(self, rng):
+        values = rng.integers(0, 100, size=2000)
+        blob = ans_compress(values)
+        for cut in (len(blob) // 4, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(EncodingError):
+                ans_decompress(blob[:cut])
+
+    def test_rans_empty_blob(self):
+        with pytest.raises(EncodingError):
+            ans_decompress(b"")
+
+    def test_all_library_errors_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            CSRVMatrix.from_dense(np.ones(3))
+        with pytest.raises(ReproError):
+            ans_decompress(b"")
+        with pytest.raises(ReproError):
+            repair_compress(np.array([[1]]))
+
+    def test_cla_handles_constant_matrix(self):
+        matrix = np.full((60, 5), 4.0)
+        cla = CLAMatrix.compress(matrix)
+        assert np.array_equal(cla.to_dense(), matrix)
+        assert cla.size_bytes() < matrix.size * 8
+
+    def test_cla_handles_all_zero_matrix(self):
+        matrix = np.zeros((60, 5))
+        cla = CLAMatrix.compress(matrix)
+        assert np.array_equal(cla.to_dense(), matrix)
+        assert np.allclose(cla.right_multiply(np.ones(5)), np.zeros(60))
+
+
+class TestNumericalFidelity:
+    """The compressed operators must be *bit-exact* reorderings of the
+    same floating-point sums, within standard summation tolerance."""
+
+    @pytest.mark.parametrize("variant", ["re_32", "re_iv", "re_ans"])
+    def test_sum_accuracy_on_illconditioned_vector(self, variant, rng):
+        matrix = rng.choice([1e-8, 1.0, 1e8], size=(100, 10))
+        gm = GrammarCompressedMatrix.compress(matrix, variant=variant)
+        x = rng.standard_normal(10)
+        expected = matrix @ x
+        got = gm.right_multiply(x)
+        assert np.allclose(got, expected, rtol=1e-9)
+
+    def test_values_stored_exactly(self, rng):
+        # V holds raw doubles: irrational-ish values survive bit-exact.
+        values = rng.standard_normal(5)
+        matrix = values[rng.integers(0, 5, size=(30, 4))]
+        gm = GrammarCompressedMatrix.compress(matrix)
+        assert np.array_equal(np.unique(gm.values), np.unique(values))
+        assert np.array_equal(gm.to_dense(), matrix)

@@ -1,0 +1,81 @@
+"""Property-based tests for the reordering stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reorder.matching import matching_order
+from repro.reorder.path_cover import path_cover_order
+from repro.reorder.similarity import (
+    column_similarity_matrix,
+    prune_global,
+    prune_local,
+    similarity_edges,
+)
+from repro.reorder.tsp import tour_gain, tsp_order
+
+
+@st.composite
+def random_csm(draw):
+    m = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    sym = rng.random((m, m))
+    sym = (sym + sym.T) / 2
+    np.fill_diagonal(sym, 0.0)
+    # Random sparsification keeps edge cases (empty rows) in play.
+    mask = rng.random((m, m)) < draw(st.floats(min_value=0.0, max_value=1.0))
+    sym = np.where(mask | mask.T, sym, 0.0)
+    return sym
+
+
+@settings(max_examples=50, deadline=None)
+@given(csm=random_csm())
+def test_all_algorithms_always_return_permutations(csm):
+    m = csm.shape[0]
+    for algo in (path_cover_order, matching_order, tsp_order):
+        order = algo(csm)
+        assert sorted(order.tolist()) == list(range(m))
+
+
+@settings(max_examples=40, deadline=None)
+@given(csm=random_csm(), k=st.integers(min_value=1, max_value=6))
+def test_pruning_is_contractive(csm, k):
+    for pruned in (prune_local(csm, k), prune_global(csm, k)):
+        assert pruned.shape == csm.shape
+        assert np.allclose(pruned, pruned.T)
+        # Never invents weight, never increases any entry.
+        assert np.all(pruned <= csm + 1e-12)
+        assert np.count_nonzero(pruned) <= np.count_nonzero(csm)
+
+
+@settings(max_examples=40, deadline=None)
+@given(csm=random_csm())
+def test_edges_cover_all_positive_entries(csm):
+    edges = similarity_edges(csm)
+    iu, ju = np.triu_indices(csm.shape[0], k=1)
+    positive = int(np.count_nonzero(csm[iu, ju] > 0))
+    assert len(edges) == positive
+
+
+@settings(max_examples=30, deadline=None)
+@given(csm=random_csm())
+def test_tsp_never_worse_than_identity(csm):
+    order = tsp_order(csm)
+    assert tour_gain(csm, order) >= tour_gain(csm, np.arange(csm.shape[0])) - 1e-12
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    m=st.integers(min_value=2, max_value=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_csm_bounded_by_one(n, m, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.choice([0.0, 1.0, 2.0], size=(n, m))
+    csm = column_similarity_matrix(matrix)
+    # At most n pairs per column pair, minus one per distinct value:
+    # RPNZ <= n - 1, so CSM < 1.
+    assert np.all(csm >= 0.0)
+    assert np.all(csm < 1.0)

@@ -1,0 +1,150 @@
+"""Tests for the column-column similarity matrix (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.reorder.similarity import (
+    column_codes,
+    column_similarity_matrix,
+    prune_global,
+    prune_local,
+    similarity_edges,
+)
+
+
+class TestColumnCodes:
+    def test_zero_maps_to_zero(self):
+        matrix = np.array([[0.0, 1.0], [2.0, 0.0]])
+        codes, _ = column_codes(matrix)
+        assert codes[0, 0] == 0
+        assert codes[1, 1] == 0
+
+    def test_equal_values_equal_codes(self):
+        matrix = np.array([[1.5], [2.5], [1.5]])
+        codes, n_codes = column_codes(matrix)
+        assert codes[0, 0] == codes[2, 0] != codes[1, 0]
+        assert n_codes[0] == 3  # zero + two distinct values
+
+    def test_rejects_1d(self):
+        with pytest.raises(MatrixFormatError):
+            column_codes(np.ones(3))
+
+
+class TestCSM:
+    def test_paper_example_csm_12(self, paper_matrix):
+        # Section 5.1: CSM[1][2] = 2/6 (pair ⟨1.2, 3.4⟩ occurs 3 times
+        # = 2 repetitions; other pairs contain zeros).
+        csm = column_similarity_matrix(paper_matrix)
+        assert csm[0, 1] == pytest.approx(1 / 3)
+
+    def test_symmetric_zero_diagonal(self, structured_matrix):
+        csm = column_similarity_matrix(structured_matrix)
+        assert np.allclose(csm, csm.T)
+        assert np.allclose(np.diag(csm), 0.0)
+
+    def test_identical_columns_max_similarity(self):
+        col = np.array([1.0, 2.0, 1.0, 2.0, 1.0, 2.0])
+        matrix = np.column_stack([col, col])
+        csm = column_similarity_matrix(matrix)
+        # 6 pairs, 2 distinct -> 4 repetitions -> 4/6.
+        assert csm[0, 1] == pytest.approx(4 / 6)
+
+    def test_unrelated_unique_columns_zero_similarity(self):
+        matrix = np.column_stack([np.arange(1, 9), np.arange(11, 19)])
+        csm = column_similarity_matrix(matrix.astype(float))
+        assert csm[0, 1] == 0.0
+
+    def test_zeros_excluded_from_pairs(self):
+        # The repeated pair (1, 2) appears twice, but one side zero
+        # never counts.
+        matrix = np.array([[1.0, 2.0], [1.0, 2.0], [1.0, 0.0], [0.0, 2.0]])
+        csm = column_similarity_matrix(matrix)
+        assert csm[0, 1] == pytest.approx(1 / 4)
+
+    def test_row_sampling_keeps_scale(self, rng):
+        col = rng.choice([1.0, 2.0], size=2000)
+        matrix = np.column_stack([col, col])
+        full = column_similarity_matrix(matrix)
+        sampled = column_similarity_matrix(matrix, sample_rows=500, seed=1)
+        # Both near the asymptotic value 1 - 2/n ≈ 1.
+        assert sampled[0, 1] == pytest.approx(full[0, 1], abs=0.05)
+
+    def test_single_column(self):
+        csm = column_similarity_matrix(np.ones((5, 1)))
+        assert csm.shape == (1, 1)
+        assert csm[0, 0] == 0.0
+
+
+class TestPruning:
+    @pytest.fixture
+    def csm(self, rng):
+        m = 10
+        sym = rng.random((m, m))
+        sym = (sym + sym.T) / 2
+        np.fill_diagonal(sym, 0.0)
+        return sym
+
+    def test_local_keeps_top_k_per_column(self, csm):
+        pruned = prune_local(csm, k=2)
+        for i in range(csm.shape[0]):
+            kept = np.count_nonzero(pruned[i])
+            assert kept >= 2  # own top-2 (plus entries kept by peers)
+
+    def test_local_result_symmetric(self, csm):
+        pruned = prune_local(csm, k=3)
+        assert np.allclose(pruned, pruned.T)
+
+    def test_local_never_invents_scores(self, csm):
+        pruned = prune_local(csm, k=2)
+        mask = pruned > 0
+        assert np.allclose(pruned[mask], csm[mask])
+
+    def test_global_budget(self, csm):
+        m = csm.shape[0]
+        k = 2
+        pruned = prune_global(csm, k=k)
+        # At most m*k/2 undirected entries -> m*k nonzeros in the
+        # symmetric matrix.
+        assert np.count_nonzero(pruned) <= m * k
+
+    def test_global_keeps_heaviest(self, csm):
+        pruned = prune_global(csm, k=1)
+        iu = np.triu_indices_from(csm, k=1)
+        heaviest = csm[iu].max()
+        assert pruned.max() == pytest.approx(heaviest)
+
+    def test_invalid_k(self, csm):
+        with pytest.raises(MatrixFormatError):
+            prune_local(csm, k=0)
+        with pytest.raises(MatrixFormatError):
+            prune_global(csm, k=0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(MatrixFormatError):
+            prune_local(np.ones((2, 3)), k=1)
+
+
+class TestEdges:
+    def test_sorted_descending(self, structured_matrix):
+        csm = column_similarity_matrix(structured_matrix)
+        edges = similarity_edges(csm)
+        weights = [w for w, _i, _j in edges]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_only_upper_triangle(self, structured_matrix):
+        csm = column_similarity_matrix(structured_matrix)
+        for _w, i, j in similarity_edges(csm):
+            assert i < j
+
+    def test_zero_weights_excluded(self):
+        csm = np.zeros((4, 4))
+        csm[0, 1] = csm[1, 0] = 0.5
+        edges = similarity_edges(csm)
+        assert edges == [(0.5, 0, 1)]
+
+    def test_deterministic_tie_break(self):
+        csm = np.zeros((4, 4))
+        for i, j in [(0, 1), (2, 3)]:
+            csm[i, j] = csm[j, i] = 0.7
+        assert similarity_edges(csm) == [(0.7, 0, 1), (0.7, 2, 3)]

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from tests.conftest import make_structured
+
+
+@pytest.fixture
+def dense_file(tmp_path, rng):
+    matrix = make_structured(rng, n=80, m=10)
+    path = tmp_path / "m.npy"
+    np.save(path, matrix)
+    return path, matrix
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("susy", "census", "mnist2m"):
+            assert name in out
+
+
+class TestCompressInfoDecompress:
+    def test_roundtrip(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        out = tmp_path / "back.npy"
+        assert main(["compress", str(src), str(blob), "--variant", "re_iv"]) == 0
+        assert "% of dense" in capsys.readouterr().out
+        assert main(["info", str(blob)]) == 0
+        info = capsys.readouterr().out
+        assert "re_iv" in info
+        assert main(["decompress", str(blob), str(out)]) == 0
+        assert np.array_equal(np.load(out), matrix)
+
+    def test_blocked_compress(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        assert main(
+            ["compress", str(src), str(blob), "--blocks", "4", "--variant", "auto"]
+        ) == 0
+        assert main(["info", str(blob)]) == 0
+        assert "blocks  : 4" in capsys.readouterr().out
+
+    def test_reorder_pipeline(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        assert main(
+            ["compress", str(src), str(blob), "--blocks", "2", "--reorder"]
+        ) == 0
+        assert "reordering winner" in capsys.readouterr().out
+        assert main(["decompress", str(blob), str(tmp_path / "b.npy")]) == 0
+        assert np.array_equal(np.load(tmp_path / "b.npy"), matrix)
+
+
+class TestMultiply:
+    def test_right(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        main(["compress", str(src), str(blob)])
+        capsys.readouterr()
+        x = np.ones(matrix.shape[1])
+        xpath = tmp_path / "x.npy"
+        np.save(xpath, x)
+        out = tmp_path / "y.npy"
+        assert main(["multiply", str(blob), str(xpath), "--output", str(out)]) == 0
+        assert np.allclose(np.load(out), matrix @ x)
+
+    def test_left(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        main(["compress", str(src), str(blob)])
+        y = np.ones(matrix.shape[0])
+        ypath = tmp_path / "y.npy"
+        np.save(ypath, y)
+        out = tmp_path / "x.npy"
+        assert main(
+            ["multiply", str(blob), str(ypath), "--left", "--output", str(out)]
+        ) == 0
+        assert np.allclose(np.load(out), y @ matrix)
+
+    def test_print_to_stdout(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        main(["compress", str(src), str(blob)])
+        xpath = tmp_path / "x.npy"
+        np.save(xpath, np.ones(matrix.shape[1]))
+        capsys.readouterr()
+        assert main(["multiply", str(blob), str(xpath)]) == 0
+        assert "[" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_runs(self, capsys):
+        assert main(
+            ["bench", "covtype", "--rows", "300", "--iterations", "2",
+             "--blocks", "2", "--threads", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        for variant in ("csrv", "re_32", "re_iv", "re_ans", "auto"):
+            assert variant in out
+
+
+class TestParser:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "imagenet"])

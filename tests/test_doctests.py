@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.bench.parallel
+import repro.core.entropy
+import repro.encoders.int_vector
+import repro.encoders.varint
+
+MODULES = [
+    repro,
+    repro.encoders.int_vector,
+    repro.encoders.varint,
+    repro.core.entropy,
+    repro.bench.parallel,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, raise_on_error=False, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests collected from {module.__name__}"
