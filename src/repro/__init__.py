@@ -29,7 +29,10 @@ Package map
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's seven
   evaluation matrices;
 - :mod:`repro.bench` — the Eq. (4) workload harness and memory model;
-- :mod:`repro.io` — lossless serialization.
+- :mod:`repro.io` — lossless serialization;
+- :mod:`repro.serve` — the serving engine: matrix registry, batched
+  panel multiplication, real parallel executor, and the HTTP API
+  behind ``python -m repro serve``.
 """
 
 from repro.baselines import CSRIVMatrix, CSRMatrix, DenseMatrix, GzipMatrix, XzMatrix

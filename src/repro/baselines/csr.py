@@ -60,6 +60,30 @@ class _ScipyBackedMatrix:
             )
         return self._csr.T @ y
 
+    def right_multiply_matrix(self, x_block: np.ndarray) -> np.ndarray:
+        """``Y = M X`` for an ``(m, k)`` panel (scipy SpMM)."""
+        x_block = np.asarray(x_block, dtype=np.float64)
+        if x_block.ndim == 1:
+            x_block = x_block[:, None]
+        if x_block.shape[0] != self.shape[1]:
+            raise MatrixFormatError(
+                f"x block has shape {x_block.shape}, expected "
+                f"({self.shape[1]}, k)"
+            )
+        return np.asarray(self._csr @ x_block)
+
+    def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
+        """``Xᵗ = Yᵗ M`` for an ``(n, k)`` panel (scipy SpMM)."""
+        y_block = np.asarray(y_block, dtype=np.float64)
+        if y_block.ndim == 1:
+            y_block = y_block[:, None]
+        if y_block.shape[0] != self.shape[0]:
+            raise MatrixFormatError(
+                f"y block has shape {y_block.shape}, expected "
+                f"({self.shape[0]}, k)"
+            )
+        return np.asarray(self._csr.T @ y_block)
+
 
 class CSRMatrix(_ScipyBackedMatrix):
     """Compressed Sparse Row: ``nz`` (8 B), ``idx`` (4 B), ``first`` (4 B)."""

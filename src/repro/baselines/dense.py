@@ -50,6 +50,30 @@ class DenseMatrix:
             )
         return y @ self._m
 
+    def right_multiply_matrix(self, x_block: np.ndarray) -> np.ndarray:
+        """``Y = M X`` for an ``(m, k)`` panel via BLAS GEMM."""
+        x_block = np.asarray(x_block, dtype=np.float64)
+        if x_block.ndim == 1:
+            x_block = x_block[:, None]
+        if x_block.shape[0] != self._m.shape[1]:
+            raise MatrixFormatError(
+                f"x block has shape {x_block.shape}, expected "
+                f"({self._m.shape[1]}, k)"
+            )
+        return self._m @ x_block
+
+    def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
+        """``Xᵗ = Yᵗ M`` for an ``(n, k)`` panel via BLAS GEMM."""
+        y_block = np.asarray(y_block, dtype=np.float64)
+        if y_block.ndim == 1:
+            y_block = y_block[:, None]
+        if y_block.shape[0] != self._m.shape[0]:
+            raise MatrixFormatError(
+                f"y block has shape {y_block.shape}, expected "
+                f"({self._m.shape[0]}, k)"
+            )
+        return self._m.T @ y_block
+
     def size_bytes(self) -> int:
         """``rows × cols × 8`` — the denominator of all paper ratios."""
         return int(self._m.shape[0] * self._m.shape[1] * 8)

@@ -51,9 +51,16 @@ class IterationResult:
     max_error: float
 
 
-def _multiply(matrix, direction: str, vec: np.ndarray, threads: int) -> np.ndarray:
+def _multiply(
+    matrix, direction: str, vec: np.ndarray, threads: int, executor=None
+) -> np.ndarray:
     """Dispatch supporting both threaded and single-representation APIs."""
     method = getattr(matrix, f"{direction}_multiply")
+    if executor is not None:
+        try:
+            return method(vec, executor=executor)
+        except TypeError:
+            pass
     try:
         return method(vec, threads=threads)
     except TypeError:
@@ -86,22 +93,31 @@ def run_iterations(
         Optional dense matrix; when given, every ``y`` and ``z`` is
         checked against numpy and the max deviation reported.
     parallel_model:
-        ``"threads"`` uses a real thread pool (CPython's GIL caps its
-        speedup — see :mod:`repro.bench.parallel`); ``"simulated"``
-        multiplies blocks sequentially and reports the LPT-schedule
-        makespan on ``threads`` workers, the model the multithread
-        benchmarks use to reproduce the paper's Figure 3/Table 2
-        timing shape.  Only blocked matrices distinguish the two.
+        ``"threads"`` uses a per-call thread pool (CPython's GIL caps
+        its speedup — see :mod:`repro.bench.parallel`);
+        ``"executor"`` uses one persistent
+        :class:`repro.serve.executor.BlockExecutor` for the whole run
+        (the serving configuration — pool startup paid once);
+        ``"simulated"`` multiplies blocks sequentially and reports the
+        LPT-schedule makespan on ``threads`` workers, the model the
+        multithread benchmarks use to reproduce the paper's Figure
+        3/Table 2 timing shape.  Only blocked matrices distinguish the
+        three.
     """
     n, m = matrix.shape
     if iterations < 1:
         raise MatrixFormatError(f"iterations must be >= 1, got {iterations}")
-    if parallel_model not in ("threads", "simulated"):
+    if parallel_model not in ("threads", "simulated", "executor"):
         raise MatrixFormatError(
             f"unknown parallel_model {parallel_model!r}; "
-            "expected 'threads' or 'simulated'"
+            "expected 'threads', 'simulated' or 'executor'"
         )
     simulate = parallel_model == "simulated" and hasattr(matrix, "blocks")
+    executor = None
+    if parallel_model == "executor" and hasattr(matrix, "blocks"):
+        from repro.serve.executor import BlockExecutor
+
+        executor = BlockExecutor(workers=threads)
     x = np.ones(m, dtype=np.float64) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
     if x.size != m:
         raise MatrixFormatError(f"x0 has length {x.size}, expected {m}")
@@ -133,8 +149,8 @@ def run_iterations(
                     lpt_makespan(d_right, threads) + lpt_makespan(d_left, threads)
                 )
             else:
-                y = _multiply(matrix, "right", x, threads)
-                z = _multiply(matrix, "left", y, threads)
+                y = _multiply(matrix, "right", x, threads, executor)
+                z = _multiply(matrix, "left", y, threads, executor)
             if reference is not None:
                 max_error = max(
                     max_error,
@@ -147,6 +163,8 @@ def run_iterations(
     finally:
         if gc_was_enabled:
             gc.enable()
+        if executor is not None:
+            executor.shutdown()
     if simulate:
         # Median over iterations: robust to residual scheduler noise.
         per_iter = float(np.median(simulated_iters))

@@ -1,28 +1,30 @@
-"""Simulated parallel execution for timing benchmarks.
+"""LPT schedule modelling for the multithread timing benchmarks.
 
-The paper's multithread timings (Figure 3, Tables 2 and 4) measure a C
-prototype whose row-block multiplications run truly concurrently.  In
-CPython the numpy gather/scatter kernels this package uses hold the
-GIL, so OS threads cannot exhibit the algorithmic parallelism — the
-blocks are independent, the substrate isn't (see DESIGN.md's
-substitution table).
+.. deprecated:: the *execution* half of this module now lives in
+   :mod:`repro.serve.executor`.  The seed reproduction could only
+   simulate the paper's multithread timings (Figure 3, Tables 2 and 4)
+   because the numpy kernels hold the GIL; the serving subsystem added
+   a real :class:`~repro.serve.executor.BlockExecutor` pool, and the
+   functions here now delegate their per-block execution to it (run
+   sequentially, ``workers=1``, so each block's duration is measured
+   in isolation).
 
-This module therefore *simulates* the parallel executor: each block is
-multiplied sequentially and its wall-clock time recorded, then the
-per-block durations are scheduled onto ``t`` workers with the classic
-Longest-Processing-Time (LPT) greedy rule; the schedule's makespan is
-the simulated parallel time.  LPT is what a work-stealing pool
-converges to for independent tasks, and makespan is exactly the
-quantity the paper's per-iteration timings capture.
+What remains native here is the *model*: :func:`lpt_makespan`
+schedules measured per-block durations onto ``t`` ideal workers with
+the classic Longest-Processing-Time greedy rule.  That stays useful as
+a planning utility — it predicts what a work-stealing pool converges
+to for independent tasks, and ``tests/serve/test_executor.py`` pins
+its predictions against the measured makespan ordering of the real
+pool.  Benchmarks that want measured (not modelled) parallel timings
+use ``parallel_model="executor"`` in :func:`repro.bench.harness.run_iterations`.
 
 Numerical results are unaffected — only the *reported* time differs
-between the real-thread and simulated modes.
+between the real-pool and simulated modes.
 """
 
 from __future__ import annotations
 
 import heapq
-import time
 from typing import Callable, Sequence
 
 import numpy as np
@@ -52,14 +54,16 @@ def lpt_makespan(durations: Sequence[float], workers: int) -> float:
 def timed_block_map(blocks: Sequence, fn: Callable) -> tuple[list, list[float]]:
     """Apply ``fn`` to every block sequentially, timing each call.
 
-    Returns ``(results, per_block_seconds)``.
+    Returns ``(results, per_block_seconds)``.  Delegates to the real
+    executor's timed map with ``workers=1`` — sequential execution, so
+    each block's duration is measured without interference from the
+    others (the input the LPT model needs).
     """
-    results = []
-    durations = []
-    for i, block in enumerate(blocks):
-        start = time.perf_counter()
-        results.append(fn(block, i))
-        durations.append(time.perf_counter() - start)
+    from repro.serve.executor import BlockExecutor
+
+    results, durations, _wall = BlockExecutor(workers=1).timed_map_blocks(
+        fn, list(blocks)
+    )
     return results, durations
 
 
@@ -74,10 +78,10 @@ def simulated_right_multiply(blocked, x: np.ndarray) -> tuple[np.ndarray, list[f
 
 def simulated_left_multiply(blocked, y: np.ndarray) -> tuple[np.ndarray, list[float]]:
     """``xᵗ = yᵗ M`` over a BlockedMatrix with per-block timing."""
+    from repro.serve.executor import _block_offsets
+
     y = np.asarray(y, dtype=np.float64).ravel()
-    offsets = np.concatenate(
-        [[0], np.cumsum([b.shape[0] for b in blocked.blocks])]
-    )
+    offsets = _block_offsets(blocked)
     parts, durations = timed_block_map(
         blocked.blocks,
         lambda b, i: b.left_multiply(y[offsets[i] : offsets[i + 1]]),

@@ -13,10 +13,18 @@ Commands
     Expand back to a dense ``.npy`` file.
 ``multiply FILE.gcmx X.npy``
     Compute ``y = Mx`` (or ``xᵗ = yᵗM`` with ``--left``) from the
-    compressed file and print/save the result.
+    compressed file and print/save the result.  ``--workers N`` runs
+    the row blocks of a blocked matrix on a real
+    :class:`repro.serve.executor.BlockExecutor` pool.
 ``bench NAME``
     Run the Eq. (4) workload on one synthetic dataset and report
-    size/time/peak-memory for every representation.
+    size/time/peak-memory for every representation.  ``--workers N``
+    switches from the simulated LPT timings to measured wall-clock on
+    a real executor pool.
+``serve ROOT``
+    Serve a directory of ``.gcmx`` files over the HTTP JSON API
+    (``/matrices``, ``/multiply``, ``/stats`` — see
+    :mod:`repro.serve.server`).
 """
 
 from __future__ import annotations
@@ -118,10 +126,20 @@ def _cmd_decompress(args) -> int:
 def _cmd_multiply(args) -> int:
     matrix = load_matrix(args.file)
     vector = np.load(args.vector)
-    if args.left:
-        result = matrix.left_multiply(vector)
+    direction = "left" if args.left else "right"
+    method = getattr(matrix, f"{direction}_multiply")
+    if args.workers > 1 and hasattr(matrix, "blocks"):
+        from repro.serve.executor import BlockExecutor
+
+        with BlockExecutor(args.workers) as executor:
+            result = method(vector, executor=executor)
+    elif args.workers > 1:
+        try:
+            result = method(vector, threads=args.workers)
+        except TypeError:
+            result = method(vector)
     else:
-        result = matrix.right_multiply(vector)
+        result = method(vector)
     if args.output:
         np.save(args.output, result)
         print(f"result ({result.size} entries) saved to {args.output}")
@@ -135,20 +153,26 @@ def _cmd_bench(args) -> int:
     dataset = get_dataset(args.name, n_rows=args.rows)
     matrix = np.asarray(dataset.matrix)
     dense = matrix.size * 8
+    if args.workers:
+        model, threads = "executor", args.workers
+        timing_label = f"{args.workers} executor workers"
+    else:
+        model, threads = "simulated", args.threads
+        timing_label = f"{args.threads} simulated threads"
     rows = []
     for variant in ("csrv", "re_32", "re_iv", "re_ans", "auto"):
         compressed = BlockedMatrix.compress(
             matrix, variant=variant, n_blocks=args.blocks
         )
         result = run_iterations(
-            compressed, iterations=args.iterations, threads=args.threads,
-            parallel_model="simulated",
+            compressed, iterations=args.iterations, threads=threads,
+            parallel_model=model,
         )
         rows.append(
             [
                 variant,
                 ratio_pct(compressed.size_bytes(), dense),
-                peak_mvm_pct(compressed, threads=args.threads),
+                peak_mvm_pct(compressed, threads=threads),
                 f"{1000 * result.seconds_per_iter:.3f}",
             ]
         )
@@ -158,10 +182,48 @@ def _cmd_bench(args) -> int:
             rows,
             title=(
                 f"{args.name} ({matrix.shape[0]}x{matrix.shape[1]}), "
-                f"{args.blocks} blocks, {args.threads} simulated threads"
+                f"{args.blocks} blocks, {timing_label}"
             ),
         )
     )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.registry import MatrixRegistry
+    from repro.serve.server import MatrixServer
+
+    budget = (
+        int(args.budget_mb * 1024 * 1024) if args.budget_mb is not None else None
+    )
+    from repro.errors import ReproError
+
+    try:
+        registry = MatrixRegistry(root=args.root, byte_budget=budget)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if not len(registry):
+        print(f"no .gcmx files found under {args.root}", file=sys.stderr)
+        return 1
+    try:
+        server = MatrixServer(
+            registry, workers=args.workers, host=args.host, port=args.port
+        )
+    except OSError as exc:
+        print(
+            f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr
+        )
+        return 1
+    names = ", ".join(registry.names())
+    print(f"serving {len(registry)} matrices ({names}) on {server.url}")
+    print("endpoints: GET /matrices  POST /multiply  GET /stats  GET /healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
     return 0
 
 
@@ -198,6 +260,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("vector", help=".npy vector")
     p.add_argument("--left", action="store_true", help="compute xᵗ = yᵗM")
     p.add_argument("--output", help="save result as .npy")
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="run row blocks on a real executor pool of N workers",
+    )
     p.set_defaults(fn=_cmd_multiply)
 
     p = sub.add_parser("bench", help="run Eq.(4) on a synthetic dataset")
@@ -206,7 +272,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--blocks", type=int, default=8)
     p.add_argument("--threads", type=int, default=8)
     p.add_argument("--iterations", type=int, default=10)
+    p.add_argument(
+        "--workers", type=int, default=0,
+        help="measure on a real executor pool of N workers instead of "
+        "the simulated LPT timings",
+    )
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("serve", help="serve .gcmx files over HTTP JSON")
+    p.add_argument("root", help="directory of .gcmx files")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8753)
+    p.add_argument(
+        "--budget-mb", type=float, default=None,
+        help="LRU residency budget in MiB (default: unlimited)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="block-level parallelism per request",
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     return parser
 

@@ -193,6 +193,14 @@ class BlockedMatrix:
         """Number of row blocks."""
         return len(self._blocks)
 
+    @property
+    def row_offsets(self) -> np.ndarray:
+        """Row offsets of consecutive blocks: block ``i`` covers rows
+        ``row_offsets[i]:row_offsets[i+1]`` (length ``n_blocks + 1``)."""
+        view = self._offsets.view()
+        view.flags.writeable = False
+        return view
+
     def __repr__(self) -> str:
         kind = type(self._blocks[0]).__name__
         return (
@@ -228,17 +236,28 @@ class BlockedMatrix:
 
     # -- multiplication ----------------------------------------------------------------
 
-    def right_multiply(self, x: np.ndarray, threads: int = 1) -> np.ndarray:
-        """Compute ``y = M x``; blocks run on up to ``threads`` workers."""
+    def right_multiply(
+        self, x: np.ndarray, threads: int = 1, executor=None
+    ) -> np.ndarray:
+        """Compute ``y = M x``; blocks run on up to ``threads`` workers.
+
+        ``executor``, when given, is a persistent
+        :class:`repro.serve.executor.BlockExecutor`-style pool (any
+        object with ``map_blocks(fn, blocks)``) that replaces the
+        per-call thread pool — the serving layer reuses one pool
+        across requests instead of paying pool startup per multiply.
+        """
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.size != self._shape[1]:
             raise MatrixFormatError(
                 f"x has length {x.size}, expected {self._shape[1]}"
             )
-        parts = self._map_blocks(lambda b: b.right_multiply(x), threads)
+        parts = self._map_blocks(lambda b: b.right_multiply(x), threads, executor)
         return np.concatenate(parts)
 
-    def left_multiply(self, y: np.ndarray, threads: int = 1) -> np.ndarray:
+    def left_multiply(
+        self, y: np.ndarray, threads: int = 1, executor=None
+    ) -> np.ndarray:
         """Compute ``xᵗ = yᵗ M``; per-block row vectors are summed."""
         y = np.asarray(y, dtype=np.float64).ravel()
         if y.size != self._shape[0]:
@@ -250,14 +269,16 @@ class BlockedMatrix:
             for i in range(self.n_blocks)
         ]
         parts = self._map_blocks_indexed(
-            lambda b, i: b.left_multiply(slices[i]), threads
+            lambda b, i: b.left_multiply(slices[i]), threads, executor
         )
         out = np.zeros(self._shape[1], dtype=np.float64)
         for p in parts:
             out += p
         return out
 
-    def right_multiply_matrix(self, x_block: np.ndarray, threads: int = 1) -> np.ndarray:
+    def right_multiply_matrix(
+        self, x_block: np.ndarray, threads: int = 1, executor=None
+    ) -> np.ndarray:
         """Compute ``Y = M X`` for an ``(m, k)`` block of vectors."""
         x_block = np.asarray(x_block, dtype=np.float64)
         if x_block.ndim == 1:
@@ -267,10 +288,29 @@ class BlockedMatrix:
                 f"x block has shape {x_block.shape}, expected "
                 f"({self._shape[1]}, k)"
             )
-        parts = self._map_blocks(lambda b: b.right_multiply_matrix(x_block), threads)
-        return np.vstack(parts)
+        out = np.empty((self._shape[0], x_block.shape[1]), dtype=np.float64)
+        self._map_blocks_indexed(
+            lambda b, i: self._right_panel_into(b, i, x_block, out),
+            threads,
+            executor,
+        )
+        return out
 
-    def left_multiply_matrix(self, y_block: np.ndarray, threads: int = 1) -> np.ndarray:
+    def _right_panel_into(self, block, i: int, x_block, out) -> None:
+        """Write block ``i``'s panel result into its slice of ``out``.
+
+        Slices of consecutive row ranges are disjoint, so concurrent
+        workers never write the same element.
+        """
+        view = out[self._offsets[i] : self._offsets[i + 1]]
+        try:
+            block.right_multiply_matrix(x_block, out=view)
+        except TypeError:
+            view[:] = block.right_multiply_matrix(x_block)
+
+    def left_multiply_matrix(
+        self, y_block: np.ndarray, threads: int = 1, executor=None
+    ) -> np.ndarray:
         """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors."""
         y_block = np.asarray(y_block, dtype=np.float64)
         if y_block.ndim == 1:
@@ -285,17 +325,19 @@ class BlockedMatrix:
             for i in range(self.n_blocks)
         ]
         parts = self._map_blocks_indexed(
-            lambda b, i: b.left_multiply_matrix(slices[i]), threads
+            lambda b, i: b.left_multiply_matrix(slices[i]), threads, executor
         )
         out = np.zeros((self._shape[1], y_block.shape[1]), dtype=np.float64)
         for p in parts:
             out += p
         return out
 
-    def _map_blocks(self, fn, threads: int) -> list:
-        return self._map_blocks_indexed(lambda b, _i: fn(b), threads)
+    def _map_blocks(self, fn, threads: int, executor=None) -> list:
+        return self._map_blocks_indexed(lambda b, _i: fn(b), threads, executor)
 
-    def _map_blocks_indexed(self, fn, threads: int) -> list:
+    def _map_blocks_indexed(self, fn, threads: int, executor=None) -> list:
+        if executor is not None:
+            return executor.map_blocks(fn, self._blocks)
         if threads < 1:
             raise MatrixFormatError(f"threads must be >= 1, got {threads}")
         if threads == 1 or self.n_blocks == 1:

@@ -218,6 +218,26 @@ class CSRVMatrix:
             self._cache["j"] = np.ascontiguousarray(pair % m)
         return self._cache["rows"], self._cache["l"], self._cache["j"]
 
+    def _scipy_csr(self):
+        """Cached scipy CSR view for the panel (multi-vector) kernels.
+
+        ``S`` is row-major, so the decoded row array is sorted and the
+        CSR index pointer is a single ``searchsorted`` — the panel
+        multiplication then runs as one C-speed SpMM instead of a
+        python-level gather/scatter per entry.  Cached like
+        :meth:`_decoded` (a working view, not part of the stored
+        representation or its size accounting).
+        """
+        if "csr" not in self._cache:
+            from scipy import sparse
+
+            rows, l_idx, j_idx = self._decoded()
+            indptr = np.searchsorted(rows, np.arange(self._shape[0] + 1))
+            self._cache["csr"] = sparse.csr_matrix(
+                (self._values[l_idx], j_idx, indptr), shape=self._shape
+            )
+        return self._cache["csr"]
+
     def to_dense(self) -> np.ndarray:
         """Materialise the represented matrix as a dense float64 array."""
         rows, l_idx, j_idx = self._decoded()
@@ -270,8 +290,15 @@ class CSRVMatrix:
         new_s[self._s != ROW_SEPARATOR] = codes[new_order]
         return CSRVMatrix(new_s, self._values, (n, m))
 
-    def right_multiply_matrix(self, x_block: np.ndarray) -> np.ndarray:
-        """Compute ``Y = M X`` for an ``(m, k)`` block of vectors."""
+    def right_multiply_matrix(
+        self, x_block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Compute ``Y = M X`` for an ``(m, k)`` block of vectors.
+
+        ``out``, when given, receives the result in place (zeroed
+        first) — used by the serving executor to write row-block
+        results into disjoint slices of one preallocated panel.
+        """
         x_block = np.asarray(x_block, dtype=np.float64)
         if x_block.ndim == 1:
             x_block = x_block[:, None]
@@ -280,9 +307,15 @@ class CSRVMatrix:
                 f"x block has shape {x_block.shape}, expected "
                 f"({self._shape[1]}, k)"
             )
-        rows, l_idx, j_idx = self._decoded()
-        out = np.zeros((self._shape[0], x_block.shape[1]), dtype=np.float64)
-        np.add.at(out, rows, self._values[l_idx, None] * x_block[j_idx])
+        expected = (self._shape[0], x_block.shape[1])
+        product = np.asarray(self._scipy_csr() @ x_block)
+        if out is None:
+            return product
+        if out.shape != expected:
+            raise MatrixFormatError(
+                f"out has shape {out.shape}, expected {expected}"
+            )
+        out[:] = product
         return out
 
     def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
@@ -295,10 +328,7 @@ class CSRVMatrix:
                 f"y block has shape {y_block.shape}, expected "
                 f"({self._shape[0]}, k)"
             )
-        rows, l_idx, j_idx = self._decoded()
-        out = np.zeros((self._shape[1], y_block.shape[1]), dtype=np.float64)
-        np.add.at(out, j_idx, self._values[l_idx, None] * y_block[rows])
-        return out
+        return np.asarray(self._scipy_csr().T @ y_block)
 
     # -- partitioning (Section 4.1) ---------------------------------------------------
 
@@ -327,6 +357,25 @@ class CSRVMatrix:
                 CSRVMatrix(self._s[lo:hi], self._values, (hi_row - lo_row, m))
             )
         return blocks
+
+
+def group_scatter_add(
+    out: np.ndarray, sorted_index: np.ndarray, contrib: np.ndarray
+) -> None:
+    """``out[sorted_index] += contrib`` rows, for *non-decreasing* indices.
+
+    ``S`` lists a matrix row-major, so the row index of every pair
+    occurrence comes out already sorted; the same holds for the final
+    string of a grammar.  Equal indices then form contiguous runs,
+    which turns the scatter into a segment sum: one
+    ``np.add.reduceat`` over the run starts instead of the buffered
+    element-at-a-time ``np.add.at`` — the difference between the
+    batched panel kernel being scatter-bound and memory-bound.
+    """
+    if not sorted_index.size:
+        return
+    targets, starts = np.unique(sorted_index, return_index=True)
+    out[targets] += np.add.reduceat(contrib, starts, axis=0)
 
 
 def _check_permutation(order, m: int) -> np.ndarray:

@@ -245,26 +245,61 @@ class GrammarCompressedMatrix:
         y = np.asarray(y, dtype=np.float64).ravel()
         return self._get_engine().left(self._values, y)
 
-    def right_multiply_matrix(self, x_block: np.ndarray) -> np.ndarray:
+    def right_multiply_matrix(
+        self,
+        x_block: np.ndarray,
+        out: np.ndarray | None = None,
+        panel_width: int | None = None,
+    ) -> np.ndarray:
         """Compute ``Y = M X`` for an ``(m, k)`` block of vectors.
 
         One pass over the grammar serves all ``k`` vectors — the
         batched form of Theorem 3.4 that amortises the per-variant
         decode cost across vectors (the access pattern ML workloads
-        such as mini-batch scoring need).
+        such as mini-batch scoring need).  ``out``, when given,
+        receives the result in place (see
+        :meth:`repro.core.multiply.MvmEngine.right_multi`).
+        ``panel_width`` chunks wide panels to bound the ``(|R|, k)``
+        workspace; the engine (and hence the ``re_iv``/``re_ans``
+        storage decode) is built once and reused across chunks.
         """
         x_block = np.asarray(x_block, dtype=np.float64)
         if x_block.ndim == 1:
             x_block = x_block[:, None]
-        return self._get_engine().right_multi(self._values, x_block)
+        engine = self._get_engine()
+        k = x_block.shape[1]
+        if panel_width is None or k <= panel_width:
+            return engine.right_multi(self._values, x_block, out=out)
+        if out is None:
+            out = np.empty((self._shape[0], k), dtype=np.float64)
+        for lo in range(0, k, panel_width):
+            hi = min(k, lo + panel_width)
+            engine.right_multi(
+                self._values, x_block[:, lo:hi], out=out[:, lo:hi]
+            )
+        return out
 
-    def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
+    def left_multiply_matrix(
+        self, y_block: np.ndarray, panel_width: int | None = None
+    ) -> np.ndarray:
         """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors
-        (batched Theorem 3.10)."""
+        (batched Theorem 3.10); ``panel_width`` chunks wide panels
+        over one shared engine, as in :meth:`right_multiply_matrix`."""
         y_block = np.asarray(y_block, dtype=np.float64)
         if y_block.ndim == 1:
             y_block = y_block[:, None]
-        return self._get_engine().left_multi(self._values, y_block)
+        engine = self._get_engine()
+        k = y_block.shape[1]
+        if panel_width is None or k <= panel_width:
+            return engine.left_multi(self._values, y_block)
+        return np.hstack(
+            [
+                engine.left_multi(
+                    self._values, y_block[:, lo : lo + panel_width]
+                )
+                for lo in range(0, k, panel_width)
+            ]
+        )
 
     # -- accounting -------------------------------------------------------------------
 

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.csrv import ROW_SEPARATOR
+from repro.core.csrv import ROW_SEPARATOR, group_scatter_add
 from repro.core.grammar import Grammar
 from repro.errors import MatrixFormatError
 
@@ -134,13 +134,23 @@ class MvmEngine:
             )
         return y
 
-    def right_multi(self, values: np.ndarray, x_block: np.ndarray) -> np.ndarray:
+    def right_multi(
+        self,
+        values: np.ndarray,
+        x_block: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Compute ``Y = M X`` for a block of vectors (Theorem 3.4).
 
         ``x_block`` has shape ``(m, k)``; the result has shape
         ``(n_rows, k)``.  The auxiliary array ``W`` becomes ``(q, k)``
         — still ``O(|R|)`` words per vector, evaluated level by level
         exactly like :meth:`right`.
+
+        ``out``, when given, receives the result in place (it is
+        zeroed first).  Callers that concatenate per-block results —
+        the serving executor writes each block into a disjoint row
+        slice of one preallocated panel — avoid a copy per block.
         """
         if x_block.ndim != 2 or x_block.shape[0] != self._n_cols:
             raise MatrixFormatError(
@@ -161,15 +171,25 @@ class MvmEngine:
             )
             val_b[lvl.b_nt_sel] = w[lvl.b_nt_ref]
             w[lvl.rule_idx] = val_a + val_b
-        out = np.zeros((self._n_rows, k), dtype=np.float64)
+        if out is None:
+            out = np.zeros((self._n_rows, k), dtype=np.float64)
+        else:
+            if out.shape != (self._n_rows, k):
+                raise MatrixFormatError(
+                    f"out has shape {out.shape}, expected "
+                    f"({self._n_rows}, {k})"
+                )
+            out[:] = 0.0
+        # Occurrence rows are non-decreasing (positions scan C left to
+        # right), so the scatter collapses to segment sums.
         if self._c_term_j.size:
-            np.add.at(
+            group_scatter_add(
                 out,
                 self._c_rows_term,
                 values[self._c_term_l, None] * x_block[self._c_term_j],
             )
         if self._c_nt_ref.size:
-            np.add.at(out, self._c_rows_nt, w[self._c_nt_ref])
+            group_scatter_add(out, self._c_rows_nt, w[self._c_nt_ref])
         return out
 
     def left(self, values: np.ndarray, y: np.ndarray) -> np.ndarray:

@@ -88,6 +88,71 @@ def load_matrix(path):
         return loads_matrix(fh.read())
 
 
+#: Human-readable names for the kind tags, used by :func:`peek_matrix_info`.
+_KIND_NAMES = {_KIND_CSRV: "csrv", _KIND_GCM: "gcm", _KIND_BLOCKED: "blocked"}
+
+#: Bytes of prefix that always suffice for :func:`peek_matrix_info`
+#: (magic + version/kind + a handful of ≤10-byte varints).
+PEEK_PREFIX_BYTES = 128
+
+
+def peek_matrix_info(data: bytes) -> dict:
+    """Describe a GCMX blob from its header without materialising it.
+
+    Only the leading metadata fields are parsed — a
+    :data:`PEEK_PREFIX_BYTES` prefix is always enough — so the serving
+    registry can list matrices (kind, shape, variant) without paying
+    the load cost.  Returns a dict with ``kind`` (``csrv`` / ``gcm`` /
+    ``blocked``) and ``shape``, plus ``variant`` / ``c_length`` /
+    ``n_rules`` for grammar payloads and ``n_blocks`` for blocked ones.
+    """
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise SerializationError("bad magic — not a GCMX blob")
+    pos = len(_MAGIC)
+    if pos + 2 > len(data):
+        raise SerializationError("truncated header")
+    version, kind = data[pos], data[pos + 1]
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    if kind not in _KIND_NAMES:
+        raise SerializationError(f"unknown kind tag {kind}")
+    pos += 2
+    info: dict = {"kind": _KIND_NAMES[kind]}
+    if kind == _KIND_GCM:
+        if pos >= len(data):
+            raise SerializationError("truncated GCM payload")
+        variant = _TAG_VARIANTS.get(data[pos])
+        if variant is None:
+            raise SerializationError(f"unknown variant tag {data[pos]}")
+        info["variant"] = variant
+        pos += 1
+    n, pos = decode_uvarint(data, pos)
+    m, pos = decode_uvarint(data, pos)
+    info["shape"] = (n, m)
+    if kind == _KIND_GCM:
+        _nt_base, pos = decode_uvarint(data, pos)
+        info["c_length"], pos = decode_uvarint(data, pos)
+        info["n_rules"], pos = decode_uvarint(data, pos)
+    elif kind == _KIND_BLOCKED:
+        info["n_blocks"], pos = decode_uvarint(data, pos)
+    return info
+
+
+def read_matrix_info(path) -> dict:
+    """:func:`peek_matrix_info` for a file, plus its ``file_bytes``.
+
+    Reads only a small prefix — listing a directory of large ``.gcmx``
+    files stays cheap.
+    """
+    import os
+
+    with open(path, "rb") as fh:
+        prefix = fh.read(PEEK_PREFIX_BYTES)
+    info = peek_matrix_info(prefix)
+    info["file_bytes"] = int(os.path.getsize(path))
+    return info
+
+
 # -- encoding helpers -----------------------------------------------------------------
 
 

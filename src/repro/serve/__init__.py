@@ -1,0 +1,40 @@
+"""``repro.serve`` — the compressed-matrix serving engine.
+
+The reproduction's core answers one multiplication at a time from the
+CLI; this subsystem turns it into a queryable service, the ROADMAP's
+production-scale direction:
+
+- :mod:`repro.serve.registry` — named ``.gcmx`` store with lazy
+  loading and byte-budgeted LRU eviction;
+- :mod:`repro.serve.batch` — batched panel multiplication (one kernel
+  call for ``k`` vectors) across every representation;
+- :mod:`repro.serve.executor` — a real thread/process pool over the
+  row blocks of a :class:`~repro.core.blocked.BlockedMatrix`,
+  replacing the seed's simulated (LPT) parallelism;
+- :mod:`repro.serve.server` — the stdlib HTTP JSON API behind
+  ``python -m repro serve``;
+- :mod:`repro.serve.stats` — per-matrix request counters and latency
+  percentiles for ``/stats``.
+"""
+
+from repro.serve.batch import (
+    batch_left_multiply,
+    batch_right_multiply,
+    looped_left_multiply,
+    looped_right_multiply,
+)
+from repro.serve.executor import BlockExecutor
+from repro.serve.registry import MatrixRegistry
+from repro.serve.server import MatrixServer
+from repro.serve.stats import ServeStats
+
+__all__ = [
+    "BlockExecutor",
+    "MatrixRegistry",
+    "MatrixServer",
+    "ServeStats",
+    "batch_left_multiply",
+    "batch_right_multiply",
+    "looped_left_multiply",
+    "looped_right_multiply",
+]

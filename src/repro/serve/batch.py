@@ -1,0 +1,173 @@
+"""Batched panel multiplication across every matrix representation.
+
+The serving engine's headline throughput win: a request carrying ``k``
+vectors is answered with **one** panel multiplication ``Y = M X``
+instead of ``k`` single MVMs.  For the grammar-compressed variants this
+amortises the per-call costs across the whole panel — the level
+schedule is walked once (``re_32``), and the ``re_iv`` unpack /
+``re_ans`` entropy decode of ``C`` is paid once instead of ``k`` times
+(see :meth:`repro.core.multiply.MvmEngine.right_multi`).
+
+Not every representation has a native panel kernel (the CLA and
+baseline formats answer vector requests only), so this module is the
+dispatch point: it prefers ``right_multiply_matrix`` /
+``left_multiply_matrix``, threads a :class:`~repro.serve.executor.BlockExecutor`
+through to blocked matrices, and falls back to a per-column loop
+otherwise — callers get a uniform ``(rows, k)`` contract regardless of
+the representation behind a registry name.
+
+``panel_width`` bounds the batched workspace: the grammar kernel's
+auxiliary array is ``(|R|, k)`` doubles, so very wide panels on very
+large grammars are chunked into panels of at most that many columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+
+def as_panel(vectors, length: int, name: str = "x") -> np.ndarray:
+    """Coerce request vectors into an ``(length, k)`` float64 panel.
+
+    Accepts a single vector (1-D, ``k=1``), an already-transposed
+    ``(length, k)`` array, or — the JSON request layout — a list of
+    ``k`` row vectors of size ``length`` (a ``(k, length)`` array,
+    which is transposed).
+    """
+    panel = np.asarray(vectors, dtype=np.float64)
+    if panel.ndim == 1:
+        panel = panel[:, None]
+    if panel.ndim != 2:
+        raise MatrixFormatError(
+            f"{name} must be a vector or a batch of vectors, got ndim={panel.ndim}"
+        )
+    if panel.shape[0] != length:
+        if panel.shape[1] == length:
+            panel = np.ascontiguousarray(panel.T)
+        else:
+            raise MatrixFormatError(
+                f"{name} has shape {panel.shape}, expected ({length}, k) "
+                f"or (k, {length})"
+            )
+    return panel
+
+
+def _dispatch_panel(matrix, panel, direction: str, executor, threads: int):
+    """One panel multiplication, preferring the native batched kernel."""
+    if executor is not None and hasattr(matrix, "blocks"):
+        # The executor's own panel path handles both pool kinds (a
+        # process pool needs picklable module-level workers, which
+        # BlockedMatrix's internal lambdas are not).
+        return getattr(executor, f"{direction}_multiply_panel")(matrix, panel)
+    method = getattr(matrix, f"{direction}_multiply_matrix", None)
+    if method is not None:
+        if threads > 1:
+            try:
+                return method(panel, threads=threads)
+            except TypeError:
+                pass
+        return method(panel)
+    # No native panel kernel (CLA, dense/CSR baselines): column loop.
+    single = getattr(matrix, f"{direction}_multiply")
+    columns = []
+    for j in range(panel.shape[1]):
+        if threads > 1:
+            try:
+                columns.append(single(panel[:, j], threads=threads))
+                continue
+            except TypeError:
+                pass
+        columns.append(single(panel[:, j]))
+    return np.stack(columns, axis=1)
+
+
+def _batched(
+    matrix,
+    vectors,
+    direction: str,
+    executor=None,
+    threads: int = 1,
+    panel_width: int | None = None,
+) -> np.ndarray:
+    operand_len = matrix.shape[1] if direction == "right" else matrix.shape[0]
+    panel = as_panel(vectors, operand_len, "x" if direction == "right" else "y")
+    if panel_width is not None and panel_width < 1:
+        raise MatrixFormatError(
+            f"panel_width must be >= 1, got {panel_width}"
+        )
+    k = panel.shape[1]
+    if panel_width is None or k <= panel_width:
+        return _dispatch_panel(matrix, panel, direction, executor, threads)
+    if executor is None:
+        # Representations with native chunking (the grammar formats)
+        # build their engine once and reuse it across chunks — for
+        # re_iv/re_ans that is one storage decode per request, not one
+        # per chunk.
+        method = getattr(matrix, f"{direction}_multiply_matrix", None)
+        if method is not None:
+            try:
+                return method(panel, panel_width=panel_width)
+            except TypeError:
+                pass
+    chunks = [
+        _dispatch_panel(
+            matrix, panel[:, lo : lo + panel_width], direction, executor, threads
+        )
+        for lo in range(0, k, panel_width)
+    ]
+    return np.hstack(chunks)
+
+
+def batch_right_multiply(
+    matrix,
+    vectors,
+    executor=None,
+    threads: int = 1,
+    panel_width: int | None = None,
+) -> np.ndarray:
+    """``Y = M X`` for a batch of vectors, one panel kernel call.
+
+    ``vectors`` is anything :func:`as_panel` accepts; the result has
+    shape ``(n_rows, k)``.  ``executor`` (a
+    :class:`~repro.serve.executor.BlockExecutor`) or ``threads`` are
+    forwarded to representations that parallelise over row blocks or
+    column groups; ``panel_width`` caps the per-call workspace.
+    """
+    return _batched(matrix, vectors, "right", executor, threads, panel_width)
+
+
+def batch_left_multiply(
+    matrix,
+    vectors,
+    executor=None,
+    threads: int = 1,
+    panel_width: int | None = None,
+) -> np.ndarray:
+    """``Xᵗ = Yᵗ M`` for a batch of vectors; result ``(n_cols, k)``."""
+    return _batched(matrix, vectors, "left", executor, threads, panel_width)
+
+
+def looped_right_multiply(matrix, vectors) -> np.ndarray:
+    """``k`` single MVMs in a Python loop — the pre-batching baseline.
+
+    Kept as the comparison point for
+    ``benchmarks/bench_serve_throughput.py``: every call re-pays the
+    per-multiplication setup (engine build, ``re_iv`` unpack,
+    ``re_ans`` decode) that :func:`batch_right_multiply` amortises.
+    """
+    panel = as_panel(vectors, matrix.shape[1], "x")
+    return np.stack(
+        [matrix.right_multiply(panel[:, j]) for j in range(panel.shape[1])],
+        axis=1,
+    )
+
+
+def looped_left_multiply(matrix, vectors) -> np.ndarray:
+    """``k`` single left MVMs in a Python loop (benchmark baseline)."""
+    panel = as_panel(vectors, matrix.shape[0], "y")
+    return np.stack(
+        [matrix.left_multiply(panel[:, j]) for j in range(panel.shape[1])],
+        axis=1,
+    )

@@ -1,0 +1,271 @@
+"""A named store of compressed matrices with lazy loading and LRU eviction.
+
+The serving engine addresses matrices by name; behind each name is a
+``.gcmx`` file (:mod:`repro.io.serialize`).  The registry is the memory
+manager between the two:
+
+- **listing is free** — :func:`repro.io.serialize.read_matrix_info`
+  parses only the file header, so ``/matrices`` never loads anything;
+- **loading is lazy** — a matrix is deserialized on its first
+  multiplication request and kept resident;
+- **residency is budgeted** — an optional byte budget caps the total
+  estimated footprint of resident matrices; crossing it evicts the
+  least recently *used* matrices (an :class:`~collections.OrderedDict`
+  in access order).  The matrix being loaded is never evicted on its
+  own behalf: a single matrix larger than the budget stays resident
+  alone, so every registered matrix remains servable.
+
+The budget charge is :func:`resident_estimate` — ``size_bytes()``
+*plus* the decoded working caches a served matrix accrues (a CSRV
+block caches its decoded views and a scipy CSR for the panel kernels;
+``re_32`` caches its multiplication engine), so the budget tracks what
+the process actually keeps live, not just the compressed payload.
+
+All operations are thread-safe, and loads happen *outside* the
+registry-wide lock (one short-lived per-entry lock serialises
+concurrent loads of the same matrix): a slow cold load of one matrix
+never stalls requests for already-resident ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import GrammarCompressedMatrix
+from repro.errors import ReproError, SerializationError
+from repro.io.serialize import load_matrix, read_matrix_info
+
+#: File suffix scanned by :meth:`MatrixRegistry.scan`.
+GCMX_SUFFIX = ".gcmx"
+
+
+def resident_estimate(matrix) -> int:
+    """Estimated live bytes of a served matrix: payload + working caches.
+
+    Serving multiplies repeatedly, so the caches warm immediately and
+    are charged up front: a CSRV block's decoded ``(row, ℓ, j)`` views
+    (3 × 8 bytes/nonzero) plus its scipy CSR panel view (~16
+    bytes/nonzero + the index pointer); a cached ``re_32`` engine's
+    gather indices (≈ one int64 per symbol of ``C`` and six per rule).
+    ``re_iv``/``re_ans`` rebuild their engines per call and cache
+    nothing.
+    """
+    total = int(matrix.size_bytes())
+    blocks = matrix.blocks if hasattr(matrix, "blocks") else [matrix]
+    for block in blocks:
+        if isinstance(block, CSRVMatrix):
+            total += 40 * block.nnz + 8 * (block.shape[0] + 1)
+        elif (
+            isinstance(block, GrammarCompressedMatrix)
+            and block.variant == "re_32"
+        ):
+            total += 8 * (block.c_length + 6 * block.n_rules)
+    return total
+
+
+@dataclass
+class RegistryEntry:
+    """One registered matrix: its file, header info, and residency."""
+
+    name: str
+    path: Path
+    info: dict = field(default_factory=dict)
+    matrix: object | None = None
+    resident_bytes: int = 0
+    #: serialises concurrent cold loads of this one entry.
+    load_lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def resident(self) -> bool:
+        return self.matrix is not None
+
+
+class MatrixRegistry:
+    """Named ``.gcmx`` matrices with lazy loading and byte-budgeted LRU.
+
+    Parameters
+    ----------
+    root:
+        Optional directory to :meth:`scan` for ``*.gcmx`` files at
+        construction (each file registers under its stem).
+    byte_budget:
+        Optional cap on the summed in-memory ``size_bytes()`` of
+        resident matrices; ``None`` disables eviction.
+    """
+
+    def __init__(self, root=None, byte_budget: int | None = None):
+        if byte_budget is not None and byte_budget < 1:
+            raise ReproError(f"byte_budget must be >= 1, got {byte_budget}")
+        self._budget = byte_budget
+        self._lock = threading.RLock()
+        #: access-ordered: least recently used first.
+        self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.loads = 0
+        self.evictions = 0
+        if root is not None:
+            self.scan(root)
+
+    # -- registration ------------------------------------------------------------
+
+    def register(self, name: str, path) -> RegistryEntry:
+        """Register (or re-register) ``name`` for the file at ``path``.
+
+        The header is peeked immediately so a bad file fails at
+        registration, not at first request.
+        """
+        path = Path(path)
+        info = read_matrix_info(path)
+        with self._lock:
+            entry = RegistryEntry(name=name, path=path, info=info)
+            self._entries[name] = entry
+            self._entries.move_to_end(name, last=False)  # cold = LRU end
+            return entry
+
+    def scan(self, root) -> list[str]:
+        """Register every ``*.gcmx`` file under ``root`` by file stem.
+
+        Returns the registered names (sorted).  Unreadable files are
+        skipped rather than failing the whole scan.
+        """
+        root = Path(root)
+        if not root.is_dir():
+            raise ReproError(f"registry root {root} is not a directory")
+        names = []
+        for path in sorted(root.glob(f"*{GCMX_SUFFIX}")):
+            try:
+                self.register(path.stem, path)
+            except (ReproError, OSError):
+                continue
+            names.append(path.stem)
+        return names
+
+    # -- lookup -------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered names, most recently used last."""
+        with self._lock:
+            return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def describe(self, name: str) -> dict:
+        """Header info plus residency for one matrix (no load)."""
+        with self._lock:
+            entry = self._require(name)
+            out = {"name": name, "path": str(entry.path), **entry.info}
+            out["resident"] = entry.resident
+            if entry.resident:
+                out["resident_bytes"] = entry.resident_bytes
+            return out
+
+    def entries(self) -> list[dict]:
+        """:meth:`describe` for every registered matrix (sorted by name)."""
+        with self._lock:
+            return [self.describe(name) for name in sorted(self._entries)]
+
+    def _require(self, name: str) -> RegistryEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise SerializationError(f"no matrix registered under {name!r}")
+        return entry
+
+    # -- loading and eviction -------------------------------------------------------
+
+    def get(self, name: str):
+        """Return the matrix behind ``name``, loading it if needed.
+
+        Marks the entry most-recently-used and, after a load, evicts
+        least-recently-used residents until the byte budget holds
+        again (never the entry just requested).  The disk read and
+        deserialization run outside the registry lock, so concurrent
+        requests for resident matrices are never stalled by a cold
+        load; concurrent loads of the *same* matrix are serialised by
+        the entry's own lock (one load, the rest wait and reuse it).
+        """
+        with self._lock:
+            entry = self._require(name)
+            self._entries.move_to_end(name)
+            if entry.matrix is not None:
+                self.hits += 1
+                return entry.matrix
+        with entry.load_lock:
+            with self._lock:
+                if entry.matrix is not None:  # a concurrent load won
+                    self.hits += 1
+                    return entry.matrix
+                self.misses += 1
+            matrix = load_matrix(entry.path)
+            with self._lock:
+                entry.matrix = matrix
+                entry.resident_bytes = resident_estimate(matrix)
+                self.loads += 1
+                self._evict_over_budget(keep=name)
+            return matrix
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name``'s resident matrix (keeps the registration)."""
+        with self._lock:
+            entry = self._require(name)
+            if entry.matrix is None:
+                return False
+            entry.matrix = None
+            entry.resident_bytes = 0
+            self.evictions += 1
+            return True
+
+    def _evict_over_budget(self, keep: str) -> None:
+        if self._budget is None:
+            return
+        while self.resident_bytes > self._budget:
+            victim = next(
+                (
+                    e
+                    for e in self._entries.values()
+                    if e.resident and e.name != keep
+                ),
+                None,
+            )
+            if victim is None:
+                break  # only `keep` is resident — it always stays servable
+            victim.matrix = None
+            victim.resident_bytes = 0
+            self.evictions += 1
+
+    # -- accounting -------------------------------------------------------------------
+
+    @property
+    def byte_budget(self) -> int | None:
+        """The configured residency budget (``None`` = unlimited)."""
+        return self._budget
+
+    @property
+    def resident_bytes(self) -> int:
+        """Summed ``size_bytes()`` of currently resident matrices."""
+        with self._lock:
+            return sum(e.resident_bytes for e in self._entries.values())
+
+    def stats(self) -> dict:
+        """Counters for ``/stats``: hits, misses, loads, evictions, residency."""
+        with self._lock:
+            return {
+                "matrices": len(self._entries),
+                "resident": sum(e.resident for e in self._entries.values()),
+                "resident_bytes": self.resident_bytes,
+                "byte_budget": self._budget,
+                "hits": self.hits,
+                "misses": self.misses,
+                "loads": self.loads,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,310 @@
+"""Stdlib HTTP JSON API over the matrix registry.
+
+``python -m repro serve ROOT`` exposes a directory of ``.gcmx`` files
+as a small serving endpoint (no third-party dependencies — the stack
+is ``http.server`` + ``json``):
+
+``GET /matrices``
+    List registered matrices (header info only; nothing is loaded).
+``GET /matrices/<name>``
+    Detail for one matrix, including residency.
+``POST /multiply``
+    Body ``{"matrix": name, "vectors": [[...], ...], "op": "right"}``.
+    ``vectors`` is one vector or a batch of row vectors; the whole
+    batch is answered with one panel multiplication
+    (:mod:`repro.serve.batch`), which is where the serving throughput
+    comes from.  ``op`` is ``right`` (``y = Mx``, vectors of length
+    ``n_cols``) or ``left`` (``xᵗ = yᵗM``, length ``n_rows``).
+    Response ``result[i]`` is the product for ``vectors[i]``.
+``GET /stats``
+    Registry counters (hits/loads/evictions/residency) and per-matrix
+    request counts with latency percentiles.
+``GET /healthz``
+    Liveness probe.
+
+Requests are handled on one thread each (``ThreadingHTTPServer``);
+block-level parallelism inside a single multiplication additionally
+uses the server's persistent :class:`~repro.serve.executor.BlockExecutor`
+when ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+
+import numpy as np
+
+from repro.errors import ReproError, SerializationError
+from repro.serve.batch import batch_left_multiply, batch_right_multiply
+from repro.serve.executor import BlockExecutor
+from repro.serve.registry import MatrixRegistry
+from repro.serve.stats import ServeStats
+
+#: Default TCP port (0 = ephemeral, used by tests).
+DEFAULT_PORT = 8753
+
+#: Accepted values for the ``op`` field of ``/multiply``.
+MULTIPLY_OPS = ("right", "left")
+
+#: Most vectors accepted in one ``/multiply`` request (the response is
+#: ``n_rows × k`` JSON floats — beyond this the client should page).
+DEFAULT_MAX_VECTORS = 1024
+
+#: Panel width the batched kernel is chunked to: bounds the grammar
+#: engine's ``(|R|, panel_width)`` float64 workspace per call.
+DEFAULT_PANEL_WIDTH = 64
+
+
+class _RequestError(Exception):
+    """An HTTP error response with a status code and message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class MatrixServer:
+    """The serving engine: registry + executor + stats behind HTTP.
+
+    Parameters
+    ----------
+    registry:
+        A populated :class:`~repro.serve.registry.MatrixRegistry`.
+    workers:
+        Block-level parallelism per request; ``> 1`` keeps a persistent
+        thread :class:`~repro.serve.executor.BlockExecutor` alive for
+        the server's lifetime.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`port` for the bound value).
+    max_vectors, panel_width:
+        Request-size guards: batches above ``max_vectors`` are
+        rejected with 400, and accepted batches are chunked to
+        ``panel_width``-column panels so one request cannot allocate
+        an unbounded multiplication workspace.
+    """
+
+    def __init__(
+        self,
+        registry: MatrixRegistry,
+        workers: int = 1,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_vectors: int = DEFAULT_MAX_VECTORS,
+        panel_width: int = DEFAULT_PANEL_WIDTH,
+    ):
+        self.registry = registry
+        self.stats = ServeStats()
+        self.max_vectors = int(max_vectors)
+        self.panel_width = int(panel_width)
+        self.executor = BlockExecutor(workers) if workers > 1 else None
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` to the real one)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`close` (or Ctrl-C)."""
+        self._httpd.serve_forever()
+
+    def start(self) -> "MatrixServer":
+        """Serve on a daemon thread and return immediately (for tests)."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the port and worker pool."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        if self.executor is not None:
+            self.executor.shutdown()
+
+    def __enter__(self) -> "MatrixServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- endpoint logic (HTTP-free, unit-testable) ----------------------------------
+
+    def list_matrices(self) -> dict:
+        return {"matrices": self.registry.entries()}
+
+    def matrix_detail(self, name: str) -> dict:
+        try:
+            return self.registry.describe(name)
+        except SerializationError as exc:
+            raise _RequestError(404, str(exc)) from exc
+
+    def stats_payload(self) -> dict:
+        return {
+            "registry": self.registry.stats(),
+            "matrices": self.stats.snapshot(),
+            "workers": self.executor.workers if self.executor else 1,
+        }
+
+    def multiply(self, payload: dict) -> dict:
+        """Answer one ``/multiply`` request (also records stats)."""
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        name = payload.get("matrix")
+        if not isinstance(name, str):
+            raise _RequestError(400, "missing string field 'matrix'")
+        op = payload.get("op", "right")
+        if op not in MULTIPLY_OPS:
+            raise _RequestError(
+                400, f"unknown op {op!r}; expected one of {MULTIPLY_OPS}"
+            )
+        if "vectors" not in payload:
+            raise _RequestError(400, "missing field 'vectors'")
+        start = perf_counter()
+        try:
+            matrix = self.registry.get(name)
+        except SerializationError as exc:
+            raise _RequestError(404, str(exc)) from exc
+        try:
+            panel = self._request_panel(matrix, payload["vectors"], op)
+            if panel.shape[1] > self.max_vectors:
+                raise _RequestError(
+                    400,
+                    f"request has {panel.shape[1]} vectors, limit is "
+                    f"{self.max_vectors}; split the batch",
+                )
+            multiply = batch_right_multiply if op == "right" else batch_left_multiply
+            result = multiply(
+                matrix, panel, executor=self.executor,
+                panel_width=self.panel_width,
+            )
+        except _RequestError:
+            self.stats.record(name, None, error=True)
+            raise
+        except ReproError as exc:
+            self.stats.record(name, None, error=True)
+            raise _RequestError(400, str(exc)) from exc
+        except (TypeError, ValueError) as exc:
+            self.stats.record(name, None, error=True)
+            raise _RequestError(400, f"bad vectors: {exc}") from exc
+        seconds = perf_counter() - start
+        self.stats.record(name, seconds)
+        return {
+            "matrix": name,
+            "op": op,
+            "k": int(result.shape[1]),
+            "seconds": seconds,
+            "result": result.T.tolist(),
+        }
+
+    @staticmethod
+    def _request_panel(matrix, vectors, op: str) -> np.ndarray:
+        """JSON vectors → ``(operand_len, k)`` panel (row-vector convention).
+
+        Deliberately *not* :func:`repro.serve.batch.as_panel`: the
+        HTTP contract is "a list of row vectors", so 2-D input is
+        always transposed — ``as_panel``'s orientation heuristic would
+        silently misread a square batch.  The length check here also
+        produces the 400 message with the op and matrix shape.
+        """
+        try:
+            panel = np.asarray(vectors, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise _RequestError(400, f"bad vectors: {exc}") from exc
+        if panel.ndim == 1:
+            panel = panel[:, None]
+        elif panel.ndim == 2:
+            panel = np.ascontiguousarray(panel.T)
+        else:
+            raise _RequestError(
+                400, f"'vectors' must be 1-D or 2-D, got ndim={panel.ndim}"
+            )
+        expected = matrix.shape[1] if op == "right" else matrix.shape[0]
+        if panel.shape[0] != expected:
+            raise _RequestError(
+                400,
+                f"vectors have length {panel.shape[0]}, expected {expected} "
+                f"for op {op!r} on shape {matrix.shape}",
+            )
+        return panel
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP adapter over :class:`MatrixServer`'s endpoint methods."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> MatrixServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, *_args) -> None:  # stay quiet under pytest/CLI
+        pass
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _guarded(self, fn) -> None:
+        try:
+            self._respond(200, fn())
+        except _RequestError as exc:
+            self._respond(exc.status, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — a request must not kill the server
+            self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.rstrip("/") or "/"
+        if path == "/matrices":
+            self._guarded(self.app.list_matrices)
+        elif path.startswith("/matrices/"):
+            name = path[len("/matrices/") :]
+            self._guarded(lambda: self.app.matrix_detail(name))
+        elif path == "/stats":
+            self._guarded(self.app.stats_payload)
+        elif path == "/healthz":
+            self._respond(200, {"status": "ok"})
+        else:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        if self.path.rstrip("/") != "/multiply":
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+
+        def run():
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                payload = json.loads(raw or b"{}")
+            except json.JSONDecodeError as exc:
+                raise _RequestError(400, f"invalid JSON body: {exc}") from exc
+            return self.app.multiply(payload)
+
+        self._guarded(run)

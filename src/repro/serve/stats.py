@@ -1,0 +1,121 @@
+"""Per-matrix serving statistics: request counters and latency percentiles.
+
+The serving layer answers many small multiplication requests, so the
+interesting numbers are distributional — how many requests each matrix
+saw, how many failed, and the latency percentiles (p50/p90/p99) of the
+successful ones.  :class:`LatencyWindow` keeps a fixed-size ring of the
+most recent latencies (old requests age out, so the percentiles track
+current behaviour, not the whole process lifetime);
+:class:`ServeStats` maps matrix names to windows behind one lock.
+
+Everything here is stdlib + numpy and thread-safe: the HTTP server
+handles requests on a thread pool and records into the same
+:class:`ServeStats` from every worker.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+
+#: Default ring capacity — enough for stable p99 estimates while
+#: keeping the per-matrix footprint at a few KiB.
+DEFAULT_WINDOW = 1024
+
+#: Percentiles reported by :meth:`LatencyWindow.snapshot`.
+REPORTED_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class LatencyWindow:
+    """A ring buffer of recent request latencies with percentile queries."""
+
+    def __init__(self, capacity: int = DEFAULT_WINDOW):
+        if capacity < 1:
+            raise MatrixFormatError(f"capacity must be >= 1, got {capacity}")
+        self._ring = np.zeros(capacity, dtype=np.float64)
+        self._next = 0
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        """Append one latency observation (overwrites the oldest)."""
+        self._ring[self._next] = float(seconds)
+        self._next = (self._next + 1) % self._ring.size
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations recorded (including aged-out ones)."""
+        return self._count
+
+    def values(self) -> np.ndarray:
+        """The retained observations (unordered), newest window only."""
+        retained = min(self._count, self._ring.size)
+        return self._ring[:retained].copy()
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the retained window (``nan`` if empty)."""
+        vals = self.values()
+        if not vals.size:
+            return float("nan")
+        return float(np.percentile(vals, q, method="nearest"))
+
+    def snapshot(self) -> dict:
+        """Summary dict: count, mean and the reported percentiles (ms)."""
+        vals = self.values()
+        out = {"count": self._count}
+        if vals.size:
+            out["mean_ms"] = float(vals.mean()) * 1000.0
+            for q in REPORTED_PERCENTILES:
+                out[f"p{int(q)}_ms"] = (
+                    float(np.percentile(vals, q, method="nearest")) * 1000.0
+                )
+        return out
+
+
+class MatrixStats:
+    """Counters for one served matrix."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self.requests = 0
+        self.errors = 0
+        self.latency = LatencyWindow(window)
+
+    def record(self, seconds: float | None, error: bool = False) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        elif seconds is not None:
+            self.latency.record(seconds)
+
+    def snapshot(self) -> dict:
+        out = {"requests": self.requests, "errors": self.errors}
+        out.update(self.latency.snapshot())
+        return out
+
+
+class ServeStats:
+    """Thread-safe per-matrix statistics for the serving engine."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._window = int(window)
+        self._lock = threading.Lock()
+        self._per_matrix: dict[str, MatrixStats] = {}
+
+    def record(self, name: str, seconds: float | None, error: bool = False) -> None:
+        """Record one request against matrix ``name``."""
+        with self._lock:
+            stats = self._per_matrix.get(name)
+            if stats is None:
+                stats = self._per_matrix[name] = MatrixStats(self._window)
+            stats.record(seconds, error=error)
+
+    def snapshot(self) -> dict:
+        """``{matrix name: summary dict}`` for every matrix seen so far."""
+        with self._lock:
+            return {
+                name: stats.snapshot()
+                for name, stats in self._per_matrix.items()
+            }

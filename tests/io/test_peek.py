@@ -1,0 +1,79 @@
+"""Header peeking: matrix info without deserializing the payload."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import BlockedMatrix
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import VARIANTS, GrammarCompressedMatrix
+from repro.errors import SerializationError
+from repro.io.serialize import (
+    PEEK_PREFIX_BYTES,
+    peek_matrix_info,
+    read_matrix_info,
+    save_matrix,
+    saves_matrix,
+)
+from tests.conftest import make_structured
+
+
+@pytest.fixture
+def dense(rng):
+    return make_structured(rng, n=50, m=9)
+
+
+class TestPeek:
+    def test_csrv(self, dense):
+        blob = saves_matrix(CSRVMatrix.from_dense(dense))
+        info = peek_matrix_info(blob)
+        assert info == {"kind": "csrv", "shape": dense.shape}
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_gcm(self, dense, variant):
+        gm = GrammarCompressedMatrix.compress(dense, variant=variant)
+        info = peek_matrix_info(saves_matrix(gm))
+        assert info["kind"] == "gcm"
+        assert info["variant"] == variant
+        assert info["shape"] == dense.shape
+        assert info["c_length"] == gm.c_length
+        assert info["n_rules"] == gm.n_rules
+
+    def test_blocked(self, dense):
+        bm = BlockedMatrix.compress(dense, variant="auto", n_blocks=4)
+        info = peek_matrix_info(saves_matrix(bm))
+        assert info == {"kind": "blocked", "shape": dense.shape, "n_blocks": 4}
+
+    def test_prefix_is_enough(self, dense):
+        blob = saves_matrix(GrammarCompressedMatrix.compress(dense))
+        assert peek_matrix_info(blob[:PEEK_PREFIX_BYTES]) == peek_matrix_info(blob)
+
+    def test_bad_blobs_rejected(self):
+        with pytest.raises(SerializationError):
+            peek_matrix_info(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(SerializationError):
+            peek_matrix_info(b"GCMX")  # truncated header
+        with pytest.raises(SerializationError):
+            peek_matrix_info(b"GCMX\x63\x00")  # bad version
+        with pytest.raises(SerializationError):
+            peek_matrix_info(b"GCMX\x01\x63")  # bad kind
+
+
+class TestReadInfo:
+    def test_includes_file_size(self, dense, tmp_path):
+        path = tmp_path / "m.gcmx"
+        matrix = GrammarCompressedMatrix.compress(dense, variant="re_ans")
+        save_matrix(matrix, path)
+        info = read_matrix_info(path)
+        assert info["variant"] == "re_ans"
+        assert info["file_bytes"] == path.stat().st_size
+
+    def test_matches_loaded_matrix(self, dense, tmp_path):
+        path = tmp_path / "m.gcmx"
+        save_matrix(BlockedMatrix.compress(dense, n_blocks=2), path)
+        from repro.io.serialize import load_matrix
+
+        loaded = load_matrix(path)
+        info = read_matrix_info(path)
+        assert info["shape"] == loaded.shape
+        assert info["n_blocks"] == loaded.n_blocks
+        assert np.array_equal(loaded.to_dense(), dense)

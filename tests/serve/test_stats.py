@@ -1,0 +1,75 @@
+"""Latency windows and per-matrix serving statistics."""
+
+import threading
+
+import pytest
+
+from repro.errors import MatrixFormatError
+from repro.serve.stats import LatencyWindow, MatrixStats, ServeStats
+
+
+class TestLatencyWindow:
+    def test_percentiles_of_known_data(self):
+        window = LatencyWindow(capacity=100)
+        for ms in range(1, 101):  # 1..100 ms
+            window.record(ms / 1000.0)
+        # Nearest-rank on 1..100 ms: within one rank of the exact value.
+        assert window.percentile(50) == pytest.approx(0.0505, abs=0.0006)
+        assert window.percentile(99) == pytest.approx(0.099, abs=0.0011)
+        snap = window.snapshot()
+        assert snap["count"] == 100
+        assert snap["p50_ms"] == pytest.approx(50.5, abs=0.6)
+        assert snap["p90_ms"] == pytest.approx(90.0, abs=1.1)
+        assert snap["p99_ms"] == pytest.approx(99.0, abs=1.1)
+
+    def test_ring_ages_out_old_observations(self):
+        window = LatencyWindow(capacity=4)
+        for s in (1.0, 1.0, 1.0, 1.0, 0.1, 0.1, 0.1, 0.1):
+            window.record(s)
+        assert window.count == 8
+        assert window.values().max() == pytest.approx(0.1)
+
+    def test_empty_window(self):
+        window = LatencyWindow()
+        assert window.snapshot() == {"count": 0}
+        assert window.percentile(50) != window.percentile(50)  # nan
+
+    def test_invalid_capacity(self):
+        with pytest.raises(MatrixFormatError):
+            LatencyWindow(capacity=0)
+
+
+class TestMatrixStats:
+    def test_errors_not_counted_in_latency(self):
+        stats = MatrixStats()
+        stats.record(0.010)
+        stats.record(None, error=True)
+        snap = stats.snapshot()
+        assert snap["requests"] == 2
+        assert snap["errors"] == 1
+        assert snap["count"] == 1
+
+
+class TestServeStats:
+    def test_per_matrix_isolation(self):
+        stats = ServeStats()
+        stats.record("a", 0.001)
+        stats.record("b", 0.002)
+        stats.record("b", 0.004)
+        snap = stats.snapshot()
+        assert snap["a"]["requests"] == 1
+        assert snap["b"]["requests"] == 2
+
+    def test_concurrent_recording(self):
+        stats = ServeStats()
+
+        def hammer():
+            for _ in range(200):
+                stats.record("m", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.snapshot()["m"]["requests"] == 800

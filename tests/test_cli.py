@@ -104,6 +104,65 @@ class TestBench:
             assert variant in out
 
 
+class TestWorkers:
+    def test_multiply_with_workers(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        main(["compress", str(src), str(blob), "--blocks", "4"])
+        x = np.ones(matrix.shape[1])
+        xpath = tmp_path / "x.npy"
+        np.save(xpath, x)
+        out = tmp_path / "y.npy"
+        assert main(
+            ["multiply", str(blob), str(xpath), "--workers", "2",
+             "--output", str(out)]
+        ) == 0
+        assert np.allclose(np.load(out), matrix @ x)
+
+    def test_multiply_workers_on_unblocked(self, dense_file, tmp_path, capsys):
+        src, matrix = dense_file
+        blob = tmp_path / "m.gcmx"
+        main(["compress", str(src), str(blob)])
+        xpath = tmp_path / "x.npy"
+        np.save(xpath, np.ones(matrix.shape[1]))
+        out = tmp_path / "y.npy"
+        assert main(
+            ["multiply", str(blob), str(xpath), "--workers", "3",
+             "--output", str(out)]
+        ) == 0
+        assert np.allclose(np.load(out), matrix @ np.ones(matrix.shape[1]))
+
+    def test_bench_with_workers(self, capsys):
+        assert main(
+            ["bench", "covtype", "--rows", "300", "--iterations", "2",
+             "--blocks", "2", "--workers", "2"]
+        ) == 0
+        assert "2 executor workers" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_empty_root_fails(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path)]) == 1
+        assert "no .gcmx files" in capsys.readouterr().err
+
+    def test_serves_and_answers(self, dense_file, tmp_path, capsys):
+        import json
+        import urllib.request
+
+        from repro.serve.registry import MatrixRegistry
+        from repro.serve.server import MatrixServer
+
+        src, matrix = dense_file
+        main(["compress", str(src), str(tmp_path / "m.gcmx")])
+        registry = MatrixRegistry(root=tmp_path)
+        with MatrixServer(registry, port=0).start() as server:
+            with urllib.request.urlopen(
+                f"{server.url}/matrices", timeout=10
+            ) as resp:
+                body = json.loads(resp.read())
+        assert body["matrices"][0]["name"] == "m"
+
+
 class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
