@@ -8,18 +8,35 @@ A faithful, self-contained Python reproduction of
 
 Quickstart
 ----------
+Every representation the paper compares — dense, CSR, CSR-IV, CSRV,
+CLA, the three grammar encodings, row-blocked — speaks one protocol
+(:class:`repro.formats.MatrixFormat`) and is built through one factory:
+
 >>> import numpy as np
->>> from repro import GrammarCompressedMatrix
+>>> import repro
 >>> M = np.kron(np.eye(4), np.full((8, 3), 2.5))   # repetitive matrix
->>> gm = GrammarCompressedMatrix.compress(M, variant="re_ans")
+>>> gm = repro.compress(M, format="re_ans")
 >>> x = np.ones(M.shape[1])
->>> bool(np.allclose(gm.right_multiply(x), M @ x))
+>>> bool(np.allclose(gm @ x, M @ x))
 True
 >>> gm.size_bytes() < M.nbytes
 True
+>>> len(repro.formats.available()) >= 7
+True
+
+``gm @ x`` / ``y @ gm``, ``right_multiply`` / ``left_multiply``, the
+batched panel kernels (``right_multiply_matrix(X, out=..., threads=...,
+executor=..., panel_width=...)``), ``size_bytes`` / ``size_breakdown``
+and ``save_matrix`` / ``load_matrix`` work identically for every name
+in :func:`repro.formats.available`.  The historical per-class entry
+points (``GrammarCompressedMatrix.compress``, ``CSRVMatrix.from_dense``,
+``CLAMatrix.compress``, ``compress_with_reordering``) remain as thin
+delegates of the registry's builders.
 
 Package map
 -----------
+- :mod:`repro.formats` — the matrix protocol and the format registry
+  every other layer dispatches through;
 - :mod:`repro.core` — CSRV, RePair, grammar MVM, blocked matrices;
 - :mod:`repro.encoders` — bit-packed vectors and the rANS coder;
 - :mod:`repro.baselines` — dense / CSR / CSR-IV / gzip / xz;
@@ -28,15 +45,18 @@ Package map
   reordering algorithms;
 - :mod:`repro.datasets` — synthetic stand-ins for the paper's seven
   evaluation matrices;
-- :mod:`repro.bench` — the Eq. (4) workload harness and memory model;
-- :mod:`repro.io` — lossless serialization;
+- :mod:`repro.bench` — the Eq. (4) workload harness (now iterating
+  registered formats via :func:`repro.bench.bench_formats`) and the
+  memory model;
+- :mod:`repro.io` — lossless serialization for every registered format;
 - :mod:`repro.serve` — the serving engine: matrix registry, batched
   panel multiplication, real parallel executor, and the HTTP API
   behind ``python -m repro serve``.
 """
 
+from repro import formats
 from repro.baselines import CSRIVMatrix, CSRMatrix, DenseMatrix, GzipMatrix, XzMatrix
-from repro.bench import run_iterations
+from repro.bench import bench_formats, run_iterations
 from repro.cla import CLAMatrix
 from repro.core import (
     BlockedMatrix,
@@ -48,12 +68,16 @@ from repro.core import (
 )
 from repro.datasets import get_dataset, list_datasets
 from repro.errors import ReproError
+from repro.formats import MatrixFormat, compress
 from repro.io import load_matrix, save_matrix
 from repro.reorder import compress_with_reordering, reorder_columns
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "compress",
+    "formats",
+    "MatrixFormat",
     "CSRVMatrix",
     "Grammar",
     "repair_compress",
@@ -71,6 +95,7 @@ __all__ = [
     "get_dataset",
     "list_datasets",
     "run_iterations",
+    "bench_formats",
     "save_matrix",
     "load_matrix",
     "ReproError",

@@ -17,9 +17,10 @@ import numpy as np
 from scipy import sparse
 
 from repro.errors import MatrixFormatError
+from repro.formats.base import MatrixFormat
 
 
-class _ScipyBackedMatrix:
+class _ScipyBackedMatrix(MatrixFormat):
     """Shared machinery: store a scipy CSR matrix, multiply with it."""
 
     def __init__(self, matrix: np.ndarray):
@@ -27,6 +28,21 @@ class _ScipyBackedMatrix:
         if matrix.ndim != 2:
             raise MatrixFormatError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
         self._csr = sparse.csr_matrix(matrix)
+
+    @classmethod
+    def from_scipy(cls, matrix) -> "_ScipyBackedMatrix":
+        """Wrap an existing scipy sparse matrix without densifying.
+
+        The deserialization entry point: the payload stores the CSR
+        triplet arrays, so loading must not take the dense detour.
+        """
+        obj = cls.__new__(cls)
+        obj._csr = sparse.csr_matrix(matrix)
+        obj._init_derived()
+        return obj
+
+    def _init_derived(self) -> None:
+        """Hook for subclasses that precompute statistics in __init__."""
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -38,60 +54,50 @@ class _ScipyBackedMatrix:
         """Number of stored non-zeros."""
         return int(self._csr.nnz)
 
+    def scipy_csr(self) -> sparse.csr_matrix:
+        """The backing scipy matrix (serialization reads its arrays)."""
+        return self._csr
+
     def to_dense(self) -> np.ndarray:
         """Materialise as a dense float64 array."""
         return self._csr.toarray()
 
-    def right_multiply(self, x: np.ndarray) -> np.ndarray:
-        """``y = M x``."""
-        x = np.asarray(x, dtype=np.float64).ravel()
-        if x.size != self.shape[1]:
-            raise MatrixFormatError(
-                f"x has length {x.size}, expected {self.shape[1]}"
-            )
+    # -- kernels (scipy SpMV / SpMM) -----------------------------------------------
+
+    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
         return self._csr @ x
 
-    def left_multiply(self, y: np.ndarray) -> np.ndarray:
-        """``xᵗ = yᵗ M``."""
-        y = np.asarray(y, dtype=np.float64).ravel()
-        if y.size != self.shape[0]:
-            raise MatrixFormatError(
-                f"y has length {y.size}, expected {self.shape[0]}"
-            )
+    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
         return self._csr.T @ y
 
-    def right_multiply_matrix(self, x_block: np.ndarray) -> np.ndarray:
-        """``Y = M X`` for an ``(m, k)`` panel (scipy SpMM)."""
-        x_block = np.asarray(x_block, dtype=np.float64)
-        if x_block.ndim == 1:
-            x_block = x_block[:, None]
-        if x_block.shape[0] != self.shape[1]:
-            raise MatrixFormatError(
-                f"x block has shape {x_block.shape}, expected "
-                f"({self.shape[1]}, k)"
-            )
-        return np.asarray(self._csr @ x_block)
+    def _right_panel_kernel(self, threads: int, executor):
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            out[:] = self._csr @ panel
 
-    def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
-        """``Xᵗ = Yᵗ M`` for an ``(n, k)`` panel (scipy SpMM)."""
-        y_block = np.asarray(y_block, dtype=np.float64)
-        if y_block.ndim == 1:
-            y_block = y_block[:, None]
-        if y_block.shape[0] != self.shape[0]:
-            raise MatrixFormatError(
-                f"y block has shape {y_block.shape}, expected "
-                f"({self.shape[0]}, k)"
-            )
-        return np.asarray(self._csr.T @ y_block)
+        return kernel
+
+    def _left_panel_kernel(self, threads: int, executor):
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            out[:] = self._csr.T @ panel
+
+        return kernel
 
 
 class CSRMatrix(_ScipyBackedMatrix):
     """Compressed Sparse Row: ``nz`` (8 B), ``idx`` (4 B), ``first`` (4 B)."""
 
-    def size_bytes(self) -> int:
+    format_name = "csr"
+
+    def size_breakdown(self) -> dict[str, int]:
         """Paper accounting: 12 bytes per non-zero + row offsets."""
-        n = self.shape[0]
-        return 12 * self.nnz + 4 * (n + 1)
+        return {
+            "nz": 8 * self.nnz,
+            "idx": 4 * self.nnz,
+            "first": 4 * (self.shape[0] + 1),
+        }
+
+    def size_bytes(self) -> int:
+        return sum(self.size_breakdown().values())
 
     def __repr__(self) -> str:
         return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
@@ -104,8 +110,13 @@ class CSRIVMatrix(_ScipyBackedMatrix):
     paper quotes) and 4 bytes otherwise.
     """
 
+    format_name = "csr_iv"
+
     def __init__(self, matrix: np.ndarray):
         super().__init__(matrix)
+        self._init_derived()
+
+    def _init_derived(self) -> None:
         self._n_distinct = int(np.unique(self._csr.data).size)
 
     @property
@@ -113,16 +124,18 @@ class CSRIVMatrix(_ScipyBackedMatrix):
         """Number of distinct non-zero values ``|V|``."""
         return self._n_distinct
 
-    def size_bytes(self) -> int:
+    def size_breakdown(self) -> dict[str, int]:
         """2 or 4 bytes per value index + 4-byte columns + ``V`` doubles."""
-        n = self.shape[0]
         idx_width = 2 if self._n_distinct < (1 << 16) else 4
-        return (
-            idx_width * self.nnz      # value indices
-            + 4 * self.nnz            # column indices
-            + 4 * (n + 1)             # row offsets
-            + 8 * self._n_distinct    # the dictionary V
-        )
+        return {
+            "nz": idx_width * self.nnz,
+            "idx": 4 * self.nnz,
+            "first": 4 * (self.shape[0] + 1),
+            "V": 8 * self._n_distinct,
+        }
+
+    def size_bytes(self) -> int:
+        return sum(self.size_breakdown().values())
 
     def __repr__(self) -> str:
         return (

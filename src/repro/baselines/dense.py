@@ -2,9 +2,9 @@
 
 The paper expresses every compression ratio as a percentage of the
 "uncompressed and full representation" of ``rows × cols × 8`` bytes
-(8-byte doubles).  :class:`DenseMatrix` is that reference point, with
-the same ``right_multiply`` / ``left_multiply`` / ``size_bytes``
-interface as all other representations so harness code is uniform.
+(8-byte doubles).  :class:`DenseMatrix` is that reference point,
+speaking the same :class:`repro.formats.MatrixFormat` protocol as all
+other representations so harness code is uniform.
 """
 
 from __future__ import annotations
@@ -12,10 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import MatrixFormatError
+from repro.formats.base import MatrixFormat
 
 
-class DenseMatrix:
+class DenseMatrix(MatrixFormat):
     """A plain float64 matrix with the common representation interface."""
+
+    format_name = "dense"
 
     def __init__(self, matrix: np.ndarray):
         matrix = np.asarray(matrix, dtype=np.float64)
@@ -32,51 +35,29 @@ class DenseMatrix:
         """Return (a copy of) the stored matrix."""
         return self._m.copy()
 
-    def right_multiply(self, x: np.ndarray) -> np.ndarray:
-        """``y = M x`` via BLAS."""
-        x = np.asarray(x, dtype=np.float64).ravel()
-        if x.size != self._m.shape[1]:
-            raise MatrixFormatError(
-                f"x has length {x.size}, expected {self._m.shape[1]}"
-            )
+    # -- kernels (all BLAS) --------------------------------------------------------
+
+    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
         return self._m @ x
 
-    def left_multiply(self, y: np.ndarray) -> np.ndarray:
-        """``xᵗ = yᵗ M`` via BLAS."""
-        y = np.asarray(y, dtype=np.float64).ravel()
-        if y.size != self._m.shape[0]:
-            raise MatrixFormatError(
-                f"y has length {y.size}, expected {self._m.shape[0]}"
-            )
+    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
         return y @ self._m
 
-    def right_multiply_matrix(self, x_block: np.ndarray) -> np.ndarray:
-        """``Y = M X`` for an ``(m, k)`` panel via BLAS GEMM."""
-        x_block = np.asarray(x_block, dtype=np.float64)
-        if x_block.ndim == 1:
-            x_block = x_block[:, None]
-        if x_block.shape[0] != self._m.shape[1]:
-            raise MatrixFormatError(
-                f"x block has shape {x_block.shape}, expected "
-                f"({self._m.shape[1]}, k)"
-            )
-        return self._m @ x_block
+    def _right_panel_kernel(self, threads: int, executor):
+        return lambda panel, out: np.matmul(self._m, panel, out=out)
 
-    def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
-        """``Xᵗ = Yᵗ M`` for an ``(n, k)`` panel via BLAS GEMM."""
-        y_block = np.asarray(y_block, dtype=np.float64)
-        if y_block.ndim == 1:
-            y_block = y_block[:, None]
-        if y_block.shape[0] != self._m.shape[0]:
-            raise MatrixFormatError(
-                f"y block has shape {y_block.shape}, expected "
-                f"({self._m.shape[0]}, k)"
-            )
-        return self._m.T @ y_block
+    def _left_panel_kernel(self, threads: int, executor):
+        return lambda panel, out: np.matmul(self._m.T, panel, out=out)
+
+    # -- accounting ----------------------------------------------------------------
 
     def size_bytes(self) -> int:
         """``rows × cols × 8`` — the denominator of all paper ratios."""
         return int(self._m.shape[0] * self._m.shape[1] * 8)
+
+    def size_breakdown(self) -> dict[str, int]:
+        """A single component: the raw doubles."""
+        return {"data": self.size_bytes()}
 
     def __repr__(self) -> str:
         return f"DenseMatrix(shape={self._m.shape})"

@@ -10,13 +10,20 @@
   the ``benchmarks/`` scripts.
 """
 
-from repro.bench.harness import IterationResult, run_iterations
+from repro.bench.harness import (
+    FormatBenchResult,
+    IterationResult,
+    bench_formats,
+    run_iterations,
+)
 from repro.bench.memory import peak_mvm_bytes, representation_bytes
 from repro.bench.reporting import format_table, ratio_pct
 
 __all__ = [
     "run_iterations",
+    "bench_formats",
     "IterationResult",
+    "FormatBenchResult",
     "representation_bytes",
     "peak_mvm_bytes",
     "format_table",

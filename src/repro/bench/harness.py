@@ -54,15 +54,16 @@ class IterationResult:
 def _multiply(
     matrix, direction: str, vec: np.ndarray, threads: int, executor=None
 ) -> np.ndarray:
-    """Dispatch supporting both threaded and single-representation APIs."""
+    """One protocol multiplication (with a duck-typing fallback).
+
+    Every representation in this package speaks the uniform
+    :class:`repro.formats.MatrixFormat` kernel signature; the bare-call
+    fallback keeps external objects with a plain ``right_multiply(x)``
+    benchable.
+    """
     method = getattr(matrix, f"{direction}_multiply")
-    if executor is not None:
-        try:
-            return method(vec, executor=executor)
-        except TypeError:
-            pass
     try:
-        return method(vec, threads=threads)
+        return method(vec, threads=threads, executor=executor)
     except TypeError:
         return method(vec)
 
@@ -181,3 +182,78 @@ def run_iterations(
         peak_pct=peak_mvm_pct(matrix, threads),
         max_error=max_error,
     )
+
+
+@dataclass(frozen=True)
+class FormatBenchResult:
+    """One row of :func:`bench_formats`.
+
+    Attributes
+    ----------
+    format:
+        Registry name of the benchmarked representation.
+    matrix:
+        The built representation (for size inspection).
+    size_bytes:
+        Its :meth:`size_bytes` (convenience copy).
+    result:
+        The :class:`IterationResult` of its Eq. (4) run.
+    """
+
+    format: str
+    matrix: object
+    size_bytes: int
+    result: IterationResult
+
+
+def bench_formats(
+    matrix: np.ndarray,
+    names: list[str] | tuple[str, ...] | None = None,
+    iterations: int = 10,
+    threads: int = 1,
+    n_blocks: int = 1,
+    parallel_model: str = "threads",
+    reference: np.ndarray | None = None,
+) -> list[FormatBenchResult]:
+    """Run the Eq. (4) workload over registered matrix formats.
+
+    ``names`` defaults to every format in the registry
+    (:func:`repro.formats.available`) — a new registration is
+    benchmarked without touching this module.  When ``n_blocks > 1``,
+    names that are valid row-block formats (``csrv``, the grammar
+    variants, ``auto``) are built as a blocked matrix of that many
+    blocks — the configuration the paper's multithreaded comparisons
+    use; everything else is built whole.
+    """
+    from repro import formats as format_registry
+    from repro.core.blocked import BLOCK_FORMATS, BlockedMatrix
+
+    dense = np.asarray(matrix, dtype=np.float64)
+    if names is None:
+        names = format_registry.available()
+    results = []
+    for name in names:
+        if n_blocks > 1 and name in BLOCK_FORMATS:
+            built = BlockedMatrix.compress(dense, variant=name, n_blocks=n_blocks)
+        elif n_blocks > 1 and format_registry.get(name).cls is BlockedMatrix:
+            # "blocked" itself (and any future blocked spec): its builder
+            # takes n_blocks directly.
+            built = format_registry.compress(dense, format=name, n_blocks=n_blocks)
+        else:
+            built = format_registry.compress(dense, format=name)
+        result = run_iterations(
+            built,
+            iterations=iterations,
+            threads=threads,
+            parallel_model=parallel_model,
+            reference=reference,
+        )
+        results.append(
+            FormatBenchResult(
+                format=name,
+                matrix=built,
+                size_bytes=int(built.size_bytes()),
+                result=result,
+            )
+        )
+    return results

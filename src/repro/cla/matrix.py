@@ -7,24 +7,47 @@
 2. each planned group is encoded in every concrete format and the
    smallest is kept (CLA's greedy format selection, done exactly here
    because our matrices are laptop-scale);
-3. multiplications iterate the groups — optionally on a thread pool,
-   mirroring CLA's multithreaded executor — and accumulate into shared
-   output vectors.
+3. multiplications iterate the groups — optionally in parallel on a
+   :class:`repro.serve.executor.BlockExecutor`, mirroring CLA's
+   multithreaded executor — and accumulate into shared output vectors.
+
+Parallelism routes through the same ``BlockExecutor`` the blocked
+grammar matrices use (the serving layer passes one persistent pool via
+``executor=``; a bare ``threads=N`` spins up a short-lived one), so the
+whole package has exactly one pool implementation.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from functools import partial
 
 import numpy as np
 
 from repro.cla.colgroup import GROUP_FORMATS
 from repro.cla.planner import plan_column_groups
 from repro.errors import MatrixFormatError
+from repro.formats.base import MatrixFormat
 
 
-class CLAMatrix:
+# -- module-level partials (picklable, so process executors can run them) -------------
+
+
+def _right_group_partial(group, _i: int, x: np.ndarray, n_rows: int) -> np.ndarray:
+    y = np.zeros(n_rows, dtype=np.float64)
+    group.right_mvm(x, y)
+    return y
+
+
+def _left_group_partial(group, _i: int, y: np.ndarray, n_cols: int) -> np.ndarray:
+    x = np.zeros(n_cols, dtype=np.float64)
+    group.left_mvm(y, x)
+    return x
+
+
+class CLAMatrix(MatrixFormat):
     """A matrix compressed with CLA-style column co-coding."""
+
+    format_name = "cla"
 
     def __init__(self, groups: list, shape: tuple[int, int]):
         if not groups:
@@ -103,6 +126,13 @@ class CLAMatrix:
         """Total bytes over all encoded groups."""
         return sum(g.size_bytes() for g in self._groups)
 
+    def size_breakdown(self) -> dict[str, int]:
+        """Bytes per group format (OLE / RLE / DDC / UC)."""
+        out: dict[str, int] = {}
+        for g in self._groups:
+            out[g.format_name] = out.get(g.format_name, 0) + g.size_bytes()
+        return out
+
     def to_dense(self) -> np.ndarray:
         """Materialise the represented matrix (lossless)."""
         out = np.zeros(self._shape, dtype=np.float64)
@@ -112,51 +142,37 @@ class CLAMatrix:
 
     # -- multiplication ----------------------------------------------------------------
 
-    def right_multiply(self, x: np.ndarray, threads: int = 1) -> np.ndarray:
+    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
         """``y = M x`` over the compressed groups."""
-        x = np.asarray(x, dtype=np.float64).ravel()
-        if x.size != self._shape[1]:
-            raise MatrixFormatError(
-                f"x has length {x.size}, expected {self._shape[1]}"
-            )
-        if threads <= 1 or len(self._groups) == 1:
+        if (executor is None and threads <= 1) or len(self._groups) == 1:
             y = np.zeros(self._shape[0], dtype=np.float64)
             for g in self._groups:
                 g.right_mvm(x, y)
             return y
-        partials = self._parallel_apply(
-            lambda g: self._right_partial(g, x), threads
-        )
-        return np.sum(partials, axis=0)
+        fn = partial(_right_group_partial, x=x, n_rows=self._shape[0])
+        return np.sum(self._map_groups(fn, threads, executor), axis=0)
 
-    def left_multiply(self, y: np.ndarray, threads: int = 1) -> np.ndarray:
+    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
         """``xᵗ = yᵗ M`` over the compressed groups."""
-        y = np.asarray(y, dtype=np.float64).ravel()
-        if y.size != self._shape[0]:
-            raise MatrixFormatError(
-                f"y has length {y.size}, expected {self._shape[0]}"
-            )
-        if threads <= 1 or len(self._groups) == 1:
+        if (executor is None and threads <= 1) or len(self._groups) == 1:
             x = np.zeros(self._shape[1], dtype=np.float64)
             for g in self._groups:
                 g.left_mvm(y, x)
             return x
-        partials = self._parallel_apply(
-            lambda g: self._left_partial(g, y), threads
-        )
-        return np.sum(partials, axis=0)
+        fn = partial(_left_group_partial, y=y, n_cols=self._shape[1])
+        return np.sum(self._map_groups(fn, threads, executor), axis=0)
 
-    def _right_partial(self, group, x: np.ndarray) -> np.ndarray:
-        y = np.zeros(self._shape[0], dtype=np.float64)
-        group.right_mvm(x, y)
-        return y
+    def _map_groups(self, fn, threads: int, executor) -> list:
+        """Apply ``fn(group, i)`` to every group on a ``BlockExecutor``.
 
-    def _left_partial(self, group, y: np.ndarray) -> np.ndarray:
-        x = np.zeros(self._shape[1], dtype=np.float64)
-        group.left_mvm(y, x)
-        return x
+        A caller-provided executor (the serving layer's persistent
+        pool) is used as-is; a bare ``threads=N`` request spins up a
+        short-lived pool of that size.  ``fn`` must be picklable (a
+        module-level partial) so process pools work too.
+        """
+        if executor is not None:
+            return executor.map_blocks(fn, self._groups)
+        from repro.serve.executor import BlockExecutor
 
-    def _parallel_apply(self, fn, threads: int) -> list:
-        with ThreadPoolExecutor(max_workers=threads) as pool:
-            futures = [pool.submit(fn, g) for g in self._groups]
-            return [f.result() for f in futures]
+        with BlockExecutor(threads) as pool:
+            return pool.map_blocks(fn, self._groups)

@@ -5,8 +5,10 @@ Commands
 ``datasets``
     List the available synthetic datasets and their profiles.
 ``compress IN.npy OUT.gcmx``
-    Compress a dense ``.npy`` matrix (options: variant, blocks,
-    reordering).
+    Compress a dense ``.npy`` matrix into any registered format
+    (``--format``, with ``--variant`` as the historical alias; plus
+    blocks and reordering options).  Choices come from
+    :func:`repro.formats.available`.
 ``info FILE.gcmx``
     Describe a compressed matrix file.
 ``decompress FILE.gcmx OUT.npy``
@@ -34,15 +36,19 @@ import sys
 
 import numpy as np
 
-from repro.bench.harness import run_iterations
+from repro import formats
+from repro.bench.harness import bench_formats
 from repro.bench.memory import peak_mvm_pct
 from repro.bench.reporting import format_table, ratio_pct
-from repro.core.blocked import BLOCK_FORMATS, BlockedMatrix
-from repro.core.csrv import CSRVMatrix
-from repro.core.gcm import GrammarCompressedMatrix
+from repro.core.blocked import BLOCK_FORMATS
 from repro.datasets import PROFILES, get_dataset, list_datasets
 from repro.io.serialize import load_matrix, save_matrix
 from repro.reorder.pipeline import compress_with_reordering
+
+#: Default formats benched by ``python -m repro bench`` — the paper's
+#: Table 2 line-up (every other registered format can be requested via
+#: ``--formats``).
+DEFAULT_BENCH_FORMATS = ("csrv", "re_32", "re_iv", "re_ans", "auto")
 
 
 def _cmd_datasets(_args) -> int:
@@ -71,18 +77,35 @@ def _cmd_datasets(_args) -> int:
 
 def _cmd_compress(args) -> int:
     matrix = np.load(args.input)
+    fmt = args.format
     if args.reorder:
+        if fmt not in BLOCK_FORMATS:
+            print(
+                f"--reorder requires a row-block format "
+                f"({', '.join(BLOCK_FORMATS)}), got {fmt!r}",
+                file=sys.stderr,
+            )
+            return 1
         result = compress_with_reordering(
-            matrix, variant=args.variant, n_blocks=args.blocks
+            matrix, variant=fmt, n_blocks=args.blocks
         )
         compressed = result.matrix
         print(f"reordering winner: {result.method}")
     elif args.blocks > 1:
-        compressed = BlockedMatrix.compress(
-            matrix, variant=args.variant, n_blocks=args.blocks
+        if fmt not in BLOCK_FORMATS:
+            print(
+                f"--blocks > 1 requires a row-block format "
+                f"({', '.join(BLOCK_FORMATS)}), got {fmt!r}",
+                file=sys.stderr,
+            )
+            return 1
+        name = "auto" if fmt == "auto" else "blocked"
+        opts = {} if fmt == "auto" else {"variant": fmt}
+        compressed = formats.compress(
+            matrix, format=name, n_blocks=args.blocks, **opts
         )
     else:
-        compressed = GrammarCompressedMatrix.compress(matrix, variant=args.variant)
+        compressed = formats.compress(matrix, format=fmt)
     save_matrix(compressed, args.output)
     dense = matrix.size * 8
     print(
@@ -98,15 +121,16 @@ def _cmd_info(args) -> int:
     n, m = matrix.shape
     print(f"file    : {args.file}")
     print(f"type    : {type(matrix).__name__}")
+    print(f"format  : {matrix.format_name}")
     print(f"shape   : {n} x {m}")
     print(f"bytes   : {matrix.size_bytes():,} "
           f"({ratio_pct(matrix.size_bytes(), 8 * n * m):.2f}% of dense)")
-    if isinstance(matrix, GrammarCompressedMatrix):
+    if hasattr(matrix, "variant"):
         print(f"variant : {matrix.variant}")
         print(f"|C|     : {matrix.c_length:,}")
         print(f"|R|     : {matrix.n_rules:,}")
-    if isinstance(matrix, BlockedMatrix):
-        kinds = {}
+    if hasattr(matrix, "blocks"):
+        kinds: dict[str, int] = {}
         for b in matrix.blocks:
             label = getattr(b, "variant", "csrv")
             kinds[label] = kinds.get(label, 0) + 1
@@ -128,18 +152,13 @@ def _cmd_multiply(args) -> int:
     vector = np.load(args.vector)
     direction = "left" if args.left else "right"
     method = getattr(matrix, f"{direction}_multiply")
-    if args.workers > 1 and hasattr(matrix, "blocks"):
+    if args.workers > 1 and formats.spec_for(matrix).supports_executor:
         from repro.serve.executor import BlockExecutor
 
         with BlockExecutor(args.workers) as executor:
             result = method(vector, executor=executor)
-    elif args.workers > 1:
-        try:
-            result = method(vector, threads=args.workers)
-        except TypeError:
-            result = method(vector)
     else:
-        result = method(vector)
+        result = method(vector, threads=max(1, args.workers))
     if args.output:
         np.save(args.output, result)
         print(f"result ({result.size} entries) saved to {args.output}")
@@ -159,23 +178,36 @@ def _cmd_bench(args) -> int:
     else:
         model, threads = "simulated", args.threads
         timing_label = f"{args.threads} simulated threads"
-    rows = []
-    for variant in ("csrv", "re_32", "re_iv", "re_ans", "auto"):
-        compressed = BlockedMatrix.compress(
-            matrix, variant=variant, n_blocks=args.blocks
+    names = (
+        [n.strip() for n in args.formats.split(",") if n.strip()]
+        if args.formats
+        else list(DEFAULT_BENCH_FORMATS)
+    )
+    unknown = [n for n in names if n not in formats.available()]
+    if unknown:
+        print(
+            f"unknown format(s) {', '.join(unknown)}; registered: "
+            f"{', '.join(formats.available())}",
+            file=sys.stderr,
         )
-        result = run_iterations(
-            compressed, iterations=args.iterations, threads=threads,
-            parallel_model=model,
-        )
-        rows.append(
-            [
-                variant,
-                ratio_pct(compressed.size_bytes(), dense),
-                peak_mvm_pct(compressed, threads=threads),
-                f"{1000 * result.seconds_per_iter:.3f}",
-            ]
-        )
+        return 1
+    entries = bench_formats(
+        matrix,
+        names=names,
+        iterations=args.iterations,
+        threads=threads,
+        n_blocks=args.blocks,
+        parallel_model=model,
+    )
+    rows = [
+        [
+            entry.format,
+            ratio_pct(entry.size_bytes, dense),
+            peak_mvm_pct(entry.matrix, threads=threads),
+            f"{1000 * entry.result.seconds_per_iter:.3f}",
+        ]
+        for entry in entries
+    ]
     print(
         format_table(
             ["variant", "size %", "peak mem %", "ms/iter"],
@@ -241,7 +273,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compress", help="compress a dense .npy matrix")
     p.add_argument("input")
     p.add_argument("output")
-    p.add_argument("--variant", default="re_ans", choices=BLOCK_FORMATS)
+    p.add_argument(
+        "--format", "--variant", dest="format", default="re_ans",
+        choices=formats.available(),
+        help="target representation (any registered format; "
+        "--variant is the historical alias)",
+    )
     p.add_argument("--blocks", type=int, default=1)
     p.add_argument("--reorder", action="store_true", help="Section 5.3 pipeline")
     p.set_defaults(fn=_cmd_compress)
@@ -276,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=0,
         help="measure on a real executor pool of N workers instead of "
         "the simulated LPT timings",
+    )
+    p.add_argument(
+        "--formats", default=None,
+        help="comma-separated registered formats to bench "
+        f"(default: {','.join(DEFAULT_BENCH_FORMATS)})",
     )
     p.set_defaults(fn=_cmd_bench)
 

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.csrv import CSRVMatrix
 from repro.core.gcm import GrammarCompressedMatrix, VARIANTS
 from repro.errors import MatrixFormatError
+from repro.formats.base import MatrixFormat
 
 #: Representations accepted by :meth:`BlockedMatrix.compress`.
 #: ``auto`` picks the smallest of all formats per block — the Section
@@ -33,7 +34,7 @@ from repro.errors import MatrixFormatError
 BLOCK_FORMATS = ("csrv",) + VARIANTS + ("auto",)
 
 
-class BlockedMatrix:
+class BlockedMatrix(MatrixFormat):
     """A matrix stored as independently compressed row blocks.
 
     Parameters
@@ -44,6 +45,8 @@ class BlockedMatrix:
     shape:
         Overall ``(n_rows, n_cols)``.
     """
+
+    format_name = "blocked"
 
     def __init__(self, blocks: list, shape: tuple[int, int]):
         if not blocks:
@@ -214,56 +217,50 @@ class BlockedMatrix:
         ``V`` is shared in the paper's layout, so its bytes are counted
         once even though every block object holds a reference to it.
         """
-        total = 0
-        v_counted = False
-        for block in self._blocks:
-            if isinstance(block, GrammarCompressedMatrix):
-                parts = block.size_breakdown()
-                total += parts["C"] + parts["R"]
-                if not v_counted:
-                    total += parts["V"]
-                    v_counted = True
-            else:
-                total += 4 * int(block.s.size)
-                if not v_counted:
-                    total += 8 * int(block.values.size)
-                    v_counted = True
-        return total
+        return sum(self.size_breakdown().values())
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Component bytes summed over blocks (``V`` counted once).
+
+        Grammar blocks contribute ``C``/``R``, uncompressed blocks
+        contribute ``S``; an ``auto`` matrix can show all three.
+        """
+        parts = {"C": 0, "R": 0, "S": 0, "V": 0}
+        for i, block in enumerate(self._blocks):
+            bd = block.size_breakdown()
+            for key, value in bd.items():
+                if key == "V":
+                    if i == 0:
+                        parts["V"] = value
+                else:
+                    parts[key] += value
+        return {k: v for k, v in parts.items() if v or k == "V"}
+
+    def resident_overhead_bytes(self) -> int:
+        """Summed working caches of the per-block representations."""
+        return sum(b.resident_overhead_bytes() for b in self._blocks)
 
     def to_dense(self) -> np.ndarray:
         """Expand all blocks back to one dense matrix (lossless)."""
         return np.vstack([b.to_dense() for b in self._blocks])
 
     # -- multiplication ----------------------------------------------------------------
+    #
+    # The public kernel surface (``right_multiply(x, threads=, executor=)``
+    # and friends) comes from :class:`repro.formats.MatrixFormat`; the
+    # hooks below distribute the per-block work.  ``executor``, when
+    # given, is a persistent :class:`repro.serve.executor.BlockExecutor`
+    # -style pool (any object with ``map_blocks(fn, blocks)``) replacing
+    # the per-call thread pool — the serving layer reuses one pool
+    # across requests instead of paying pool startup per multiply.
 
-    def right_multiply(
-        self, x: np.ndarray, threads: int = 1, executor=None
-    ) -> np.ndarray:
-        """Compute ``y = M x``; blocks run on up to ``threads`` workers.
-
-        ``executor``, when given, is a persistent
-        :class:`repro.serve.executor.BlockExecutor`-style pool (any
-        object with ``map_blocks(fn, blocks)``) that replaces the
-        per-call thread pool — the serving layer reuses one pool
-        across requests instead of paying pool startup per multiply.
-        """
-        x = np.asarray(x, dtype=np.float64).ravel()
-        if x.size != self._shape[1]:
-            raise MatrixFormatError(
-                f"x has length {x.size}, expected {self._shape[1]}"
-            )
+    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
+        """``y = M x``: block results are concatenated."""
         parts = self._map_blocks(lambda b: b.right_multiply(x), threads, executor)
         return np.concatenate(parts)
 
-    def left_multiply(
-        self, y: np.ndarray, threads: int = 1, executor=None
-    ) -> np.ndarray:
-        """Compute ``xᵗ = yᵗ M``; per-block row vectors are summed."""
-        y = np.asarray(y, dtype=np.float64).ravel()
-        if y.size != self._shape[0]:
-            raise MatrixFormatError(
-                f"y has length {y.size}, expected {self._shape[0]}"
-            )
+    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
+        """``xᵗ = yᵗ M``: per-block row vectors are summed."""
         slices = [
             y[self._offsets[i] : self._offsets[i + 1]]
             for i in range(self.n_blocks)
@@ -276,61 +273,35 @@ class BlockedMatrix:
             out += p
         return out
 
-    def right_multiply_matrix(
-        self, x_block: np.ndarray, threads: int = 1, executor=None
-    ) -> np.ndarray:
-        """Compute ``Y = M X`` for an ``(m, k)`` block of vectors."""
-        x_block = np.asarray(x_block, dtype=np.float64)
-        if x_block.ndim == 1:
-            x_block = x_block[:, None]
-        if x_block.shape[0] != self._shape[1]:
-            raise MatrixFormatError(
-                f"x block has shape {x_block.shape}, expected "
-                f"({self._shape[1]}, k)"
+    def _right_panel_kernel(self, threads: int, executor):
+        """Each block writes its rows straight into a disjoint slice of
+        the preallocated panel — concurrent workers never overlap."""
+
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            self._map_blocks_indexed(
+                lambda b, i: b.right_multiply_matrix(
+                    panel, out=out[self._offsets[i] : self._offsets[i + 1]]
+                ),
+                threads,
+                executor,
             )
-        out = np.empty((self._shape[0], x_block.shape[1]), dtype=np.float64)
-        self._map_blocks_indexed(
-            lambda b, i: self._right_panel_into(b, i, x_block, out),
-            threads,
-            executor,
-        )
-        return out
 
-    def _right_panel_into(self, block, i: int, x_block, out) -> None:
-        """Write block ``i``'s panel result into its slice of ``out``.
+        return kernel
 
-        Slices of consecutive row ranges are disjoint, so concurrent
-        workers never write the same element.
-        """
-        view = out[self._offsets[i] : self._offsets[i + 1]]
-        try:
-            block.right_multiply_matrix(x_block, out=view)
-        except TypeError:
-            view[:] = block.right_multiply_matrix(x_block)
-
-    def left_multiply_matrix(
-        self, y_block: np.ndarray, threads: int = 1, executor=None
-    ) -> np.ndarray:
-        """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors."""
-        y_block = np.asarray(y_block, dtype=np.float64)
-        if y_block.ndim == 1:
-            y_block = y_block[:, None]
-        if y_block.shape[0] != self._shape[0]:
-            raise MatrixFormatError(
-                f"y block has shape {y_block.shape}, expected "
-                f"({self._shape[0]}, k)"
+    def _left_panel_kernel(self, threads: int, executor):
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            parts = self._map_blocks_indexed(
+                lambda b, i: b.left_multiply_matrix(
+                    panel[self._offsets[i] : self._offsets[i + 1]]
+                ),
+                threads,
+                executor,
             )
-        slices = [
-            y_block[self._offsets[i] : self._offsets[i + 1]]
-            for i in range(self.n_blocks)
-        ]
-        parts = self._map_blocks_indexed(
-            lambda b, i: b.left_multiply_matrix(slices[i]), threads, executor
-        )
-        out = np.zeros((self._shape[1], y_block.shape[1]), dtype=np.float64)
-        for p in parts:
-            out += p
-        return out
+            out[:] = 0.0
+            for p in parts:
+                out += p
+
+        return kernel
 
     def _map_blocks(self, fn, threads: int, executor=None) -> list:
         return self._map_blocks_indexed(lambda b, _i: fn(b), threads, executor)

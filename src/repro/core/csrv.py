@@ -25,12 +25,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import MatrixFormatError
+from repro.formats.base import MatrixFormat
 
 #: Integer code of the row separator ``$`` inside ``S``.
 ROW_SEPARATOR = 0
 
 
-class CSRVMatrix:
+class CSRVMatrix(MatrixFormat):
     """A matrix stored as the CSRV pair ``(S, V)``.
 
     Instances are immutable.  Use the class methods
@@ -47,6 +48,8 @@ class CSRVMatrix:
     shape:
         ``(n_rows, n_cols)`` of the represented matrix.
     """
+
+    format_name = "csrv"
 
     def __init__(self, s: np.ndarray, values: np.ndarray, shape: tuple[int, int]):
         self._s = np.ascontiguousarray(s, dtype=np.int64)
@@ -201,7 +204,17 @@ class CSRVMatrix:
 
     def size_bytes(self) -> int:
         """Bytes of the paper's physical layout: 32-bit ``S`` + doubles ``V``."""
-        return 4 * int(self._s.size) + 8 * int(self._values.size)
+        return sum(self.size_breakdown().values())
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Component bytes: the sequence ``S`` and the dictionary ``V``."""
+        return {"S": 4 * int(self._s.size), "V": 8 * int(self._values.size)}
+
+    def resident_overhead_bytes(self) -> int:
+        """Decoded working caches a *served* block accrues: the
+        ``(row, ℓ, j)`` views (3 × 8 bytes/nonzero) plus the scipy CSR
+        panel view (~16 bytes/nonzero + the index pointer)."""
+        return 40 * self.nnz + 8 * (self._shape[0] + 1)
 
     # -- decoded views -------------------------------------------------------------
 
@@ -256,16 +269,14 @@ class CSRVMatrix:
 
     # -- multiplication (Section 2) --------------------------------------------------
 
-    def right_multiply(self, x: np.ndarray) -> np.ndarray:
-        """Compute ``y = M x`` with a single scan of ``S``."""
-        x = _check_vector(x, self._shape[1], "x")
+    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
+        """``y = M x`` with a single scan of ``S``."""
         rows, l_idx, j_idx = self._decoded()
         contrib = self._values[l_idx] * x[j_idx]
         return np.bincount(rows, weights=contrib, minlength=self._shape[0])
 
-    def left_multiply(self, y: np.ndarray) -> np.ndarray:
-        """Compute ``xᵗ = yᵗ M`` with a single scan of ``S``."""
-        y = _check_vector(y, self._shape[0], "y")
+    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
+        """``xᵗ = yᵗ M`` with a single scan of ``S``."""
         rows, l_idx, j_idx = self._decoded()
         contrib = self._values[l_idx] * y[rows]
         return np.bincount(j_idx, weights=contrib, minlength=self._shape[1])
@@ -290,45 +301,22 @@ class CSRVMatrix:
         new_s[self._s != ROW_SEPARATOR] = codes[new_order]
         return CSRVMatrix(new_s, self._values, (n, m))
 
-    def right_multiply_matrix(
-        self, x_block: np.ndarray, out: np.ndarray | None = None
-    ) -> np.ndarray:
-        """Compute ``Y = M X`` for an ``(m, k)`` block of vectors.
+    def _right_panel_kernel(self, threads: int, executor):
+        """Panel MVM via the cached scipy CSR view (one C-speed SpMM)."""
+        csr = self._scipy_csr()
 
-        ``out``, when given, receives the result in place (zeroed
-        first) — used by the serving executor to write row-block
-        results into disjoint slices of one preallocated panel.
-        """
-        x_block = np.asarray(x_block, dtype=np.float64)
-        if x_block.ndim == 1:
-            x_block = x_block[:, None]
-        if x_block.shape[0] != self._shape[1]:
-            raise MatrixFormatError(
-                f"x block has shape {x_block.shape}, expected "
-                f"({self._shape[1]}, k)"
-            )
-        expected = (self._shape[0], x_block.shape[1])
-        product = np.asarray(self._scipy_csr() @ x_block)
-        if out is None:
-            return product
-        if out.shape != expected:
-            raise MatrixFormatError(
-                f"out has shape {out.shape}, expected {expected}"
-            )
-        out[:] = product
-        return out
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            out[:] = csr @ panel
 
-    def left_multiply_matrix(self, y_block: np.ndarray) -> np.ndarray:
-        """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors."""
-        y_block = np.asarray(y_block, dtype=np.float64)
-        if y_block.ndim == 1:
-            y_block = y_block[:, None]
-        if y_block.shape[0] != self._shape[0]:
-            raise MatrixFormatError(
-                f"y block has shape {y_block.shape}, expected "
-                f"({self._shape[0]}, k)"
-            )
-        return np.asarray(self._scipy_csr().T @ y_block)
+        return kernel
+
+    def _left_panel_kernel(self, threads: int, executor):
+        csr_t = self._scipy_csr().T
+
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            out[:] = csr_t @ panel
+
+        return kernel
 
     # -- partitioning (Section 4.1) ---------------------------------------------------
 
@@ -386,13 +374,3 @@ def _check_permutation(order, m: int) -> np.ndarray:
     if perm.shape != (m,) or not np.array_equal(np.sort(perm), np.arange(m)):
         raise MatrixFormatError(f"column_order is not a permutation of range({m})")
     return perm
-
-
-def _check_vector(vec: np.ndarray, expected: int, name: str) -> np.ndarray:
-    """Validate a multiplication operand and coerce it to float64."""
-    vec = np.asarray(vec, dtype=np.float64).ravel()
-    if vec.size != expected:
-        raise MatrixFormatError(
-            f"{name} has length {vec.size}, expected {expected}"
-        )
-    return vec

@@ -32,12 +32,13 @@ from repro.core.repair import repair_compress
 from repro.encoders.int_vector import IntVector, bits_required
 from repro.encoders.rans import ans_compress, ans_decompress
 from repro.errors import MatrixFormatError
+from repro.formats.base import MatrixFormat
 
 #: The physical encodings implemented (paper Section 4).
 VARIANTS = ("re_32", "re_iv", "re_ans")
 
 
-class GrammarCompressedMatrix:
+class GrammarCompressedMatrix(MatrixFormat):
     """A matrix compressed as ``(C, R, V)`` with compressed-domain MVM.
 
     Build instances with :meth:`compress`; the constructor is the
@@ -156,6 +157,11 @@ class GrammarCompressedMatrix:
         return self._variant
 
     @property
+    def format_name(self) -> str:  # type: ignore[override]
+        """Registry name — each physical encoding is its own format."""
+        return self._variant
+
+    @property
     def shape(self) -> tuple[int, int]:
         """``(n_rows, n_cols)``."""
         return self._shape
@@ -235,71 +241,36 @@ class GrammarCompressedMatrix:
             return self._engine
         return MvmEngine(self.decode_grammar(), self._shape[1])
 
-    def right_multiply(self, x: np.ndarray) -> np.ndarray:
-        """Compute ``y = M x`` directly on the compressed form."""
-        x = np.asarray(x, dtype=np.float64).ravel()
+    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
+        """``y = M x`` directly on the compressed form."""
         return self._get_engine().right(self._values, x)
 
-    def left_multiply(self, y: np.ndarray) -> np.ndarray:
-        """Compute ``xᵗ = yᵗ M`` directly on the compressed form."""
-        y = np.asarray(y, dtype=np.float64).ravel()
+    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
+        """``xᵗ = yᵗ M`` directly on the compressed form."""
         return self._get_engine().left(self._values, y)
 
-    def right_multiply_matrix(
-        self,
-        x_block: np.ndarray,
-        out: np.ndarray | None = None,
-        panel_width: int | None = None,
-    ) -> np.ndarray:
-        """Compute ``Y = M X`` for an ``(m, k)`` block of vectors.
-
-        One pass over the grammar serves all ``k`` vectors — the
-        batched form of Theorem 3.4 that amortises the per-variant
-        decode cost across vectors (the access pattern ML workloads
-        such as mini-batch scoring need).  ``out``, when given,
-        receives the result in place (see
-        :meth:`repro.core.multiply.MvmEngine.right_multi`).
-        ``panel_width`` chunks wide panels to bound the ``(|R|, k)``
-        workspace; the engine (and hence the ``re_iv``/``re_ans``
-        storage decode) is built once and reused across chunks.
-        """
-        x_block = np.asarray(x_block, dtype=np.float64)
-        if x_block.ndim == 1:
-            x_block = x_block[:, None]
+    def _right_panel_kernel(self, threads: int, executor):
+        """Batched Theorem 3.4: one pass over the grammar serves all
+        ``k`` vectors, amortising the per-variant decode cost across
+        the panel (the access pattern ML workloads such as mini-batch
+        scoring need).  The engine — and hence the ``re_iv``/``re_ans``
+        storage decode — is built **once** here and reused across any
+        ``panel_width`` chunks of the call."""
         engine = self._get_engine()
-        k = x_block.shape[1]
-        if panel_width is None or k <= panel_width:
-            return engine.right_multi(self._values, x_block, out=out)
-        if out is None:
-            out = np.empty((self._shape[0], k), dtype=np.float64)
-        for lo in range(0, k, panel_width):
-            hi = min(k, lo + panel_width)
-            engine.right_multi(
-                self._values, x_block[:, lo:hi], out=out[:, lo:hi]
-            )
-        return out
 
-    def left_multiply_matrix(
-        self, y_block: np.ndarray, panel_width: int | None = None
-    ) -> np.ndarray:
-        """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors
-        (batched Theorem 3.10); ``panel_width`` chunks wide panels
-        over one shared engine, as in :meth:`right_multiply_matrix`."""
-        y_block = np.asarray(y_block, dtype=np.float64)
-        if y_block.ndim == 1:
-            y_block = y_block[:, None]
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            engine.right_multi(self._values, panel, out=out)
+
+        return kernel
+
+    def _left_panel_kernel(self, threads: int, executor):
+        """Batched Theorem 3.10 over one shared engine build."""
         engine = self._get_engine()
-        k = y_block.shape[1]
-        if panel_width is None or k <= panel_width:
-            return engine.left_multi(self._values, y_block)
-        return np.hstack(
-            [
-                engine.left_multi(
-                    self._values, y_block[:, lo : lo + panel_width]
-                )
-                for lo in range(0, k, panel_width)
-            ]
-        )
+
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            out[:] = engine.left_multi(self._values, panel)
+
+        return kernel
 
     # -- accounting -------------------------------------------------------------------
 
@@ -323,3 +294,11 @@ class GrammarCompressedMatrix:
     def size_bytes(self) -> int:
         """Total bytes of the compressed representation."""
         return sum(self.size_breakdown().values())
+
+    def resident_overhead_bytes(self) -> int:
+        """A served ``re_32`` block caches its multiplication engine
+        (≈ one int64 per symbol of ``C`` and six per rule);
+        ``re_iv``/``re_ans`` rebuild per call and cache nothing."""
+        if self._variant == "re_32":
+            return 8 * (self._c_length + 6 * self._n_rules)
+        return 0

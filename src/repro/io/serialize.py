@@ -1,17 +1,23 @@
-"""Self-describing binary serialization for compressed matrices.
+"""Self-describing binary serialization for every matrix format.
 
 The paper's motivation includes storage and transmission; unlike CLA
 (which recompresses at every run inside SystemDS — Section 5.4 calls
-this out), the grammar formats here round-trip losslessly through a
+this out), every representation here round-trips losslessly through a
 compact binary blob:
 
 Layout (all integers LEB128 unless noted)::
 
     magic  b"GCMX"
     version u8 (=1)
-    kind    u8: 0 = CSRVMatrix, 1 = GrammarCompressedMatrix,
-               2 = BlockedMatrix
+    kind    u8 — the serialization tag of a registered format
+               (:mod:`repro.formats.registry`)
     payload
+
+:func:`saves_matrix` / :func:`loads_matrix` dispatch through the format
+registry: the matrix's :class:`~repro.formats.FormatSpec` provides the
+kind tag and the payload codec, so adding a format never touches this
+module.  The codec functions for the built-in formats live here and are
+wired up by :mod:`repro.formats.specs`.
 
 Blocked payloads store the shared distinct-value array ``V`` once and
 the per-block structures without it, matching the in-memory sharing of
@@ -27,53 +33,63 @@ from repro.core.csrv import CSRVMatrix
 from repro.core.gcm import GrammarCompressedMatrix
 from repro.encoders.int_vector import IntVector
 from repro.encoders.varint import decode_uvarint, encode_uvarint
-from repro.errors import SerializationError
+from repro.errors import MatrixFormatError, SerializationError
 
 _MAGIC = b"GCMX"
 _VERSION = 1
-_KIND_CSRV = 0
-_KIND_GCM = 1
-_KIND_BLOCKED = 2
+
+#: Serialization kind tags (the byte after the version byte).  The
+#: original format defined 0–2; 3–8 were added when the remaining
+#: representations gained serialization through the format registry.
+KIND_CSRV = 0
+KIND_GCM = 1
+KIND_BLOCKED = 2
+KIND_DENSE = 3
+KIND_CSR = 4
+KIND_CSR_IV = 5
+KIND_CLA = 6
+KIND_GZIP = 7
+KIND_XZ = 8
+
 _VARIANT_TAGS = {"re_32": 0, "re_iv": 1, "re_ans": 2}
 _TAG_VARIANTS = {v: k for k, v in _VARIANT_TAGS.items()}
+
+#: CLA group-format tags inside a KIND_CLA payload.
+_CLA_GROUP_TAGS = {"OLE": 0, "RLE": 1, "DDC": 2, "UC": 3}
 
 
 # -- public API ---------------------------------------------------------------------
 
 
 def saves_matrix(matrix) -> bytes:
-    """Serialize a matrix representation to bytes."""
-    if isinstance(matrix, CSRVMatrix):
-        return _header(_KIND_CSRV) + _csrv_payload(matrix, include_values=True)
-    if isinstance(matrix, GrammarCompressedMatrix):
-        return _header(_KIND_GCM) + _gcm_payload(matrix, include_values=True)
-    if isinstance(matrix, BlockedMatrix):
-        return _header(_KIND_BLOCKED) + _blocked_payload(matrix)
-    raise SerializationError(
-        f"cannot serialize objects of type {type(matrix).__name__}"
-    )
+    """Serialize any registered matrix representation to bytes."""
+    from repro import formats
+
+    try:
+        spec = formats.spec_for(matrix)
+    except MatrixFormatError as exc:
+        raise SerializationError(
+            f"cannot serialize objects of type {type(matrix).__name__}"
+        ) from exc
+    if spec.encode is None or spec.kind is None:
+        raise SerializationError(
+            f"format {spec.name!r} has no serialization codec"
+        )
+    return _header(spec.kind) + spec.encode(matrix)
 
 
 def loads_matrix(data: bytes):
     """Inverse of :func:`saves_matrix`."""
-    if data[: len(_MAGIC)] != _MAGIC:
-        raise SerializationError("bad magic — not a GCMX blob")
-    pos = len(_MAGIC)
-    if pos + 2 > len(data):
-        raise SerializationError("truncated header")
-    version, kind = data[pos], data[pos + 1]
-    if version != _VERSION:
-        raise SerializationError(f"unsupported version {version}")
-    pos += 2
-    if kind == _KIND_CSRV:
-        matrix, _ = _read_csrv(data, pos, values=None)
-        return matrix
-    if kind == _KIND_GCM:
-        matrix, _ = _read_gcm(data, pos, values=None)
-        return matrix
-    if kind == _KIND_BLOCKED:
-        return _read_blocked(data, pos)
-    raise SerializationError(f"unknown kind tag {kind}")
+    from repro import formats
+
+    kind, pos = _read_header(data)
+    spec = formats.by_kind(kind)
+    if spec.decode is None:
+        raise SerializationError(
+            f"format {spec.name!r} has no serialization codec"
+        )
+    matrix, _ = spec.decode(data, pos)
+    return matrix
 
 
 def save_matrix(matrix, path) -> None:
@@ -88,9 +104,6 @@ def load_matrix(path):
         return loads_matrix(fh.read())
 
 
-#: Human-readable names for the kind tags, used by :func:`peek_matrix_info`.
-_KIND_NAMES = {_KIND_CSRV: "csrv", _KIND_GCM: "gcm", _KIND_BLOCKED: "blocked"}
-
 #: Bytes of prefix that always suffice for :func:`peek_matrix_info`
 #: (magic + version/kind + a handful of ≤10-byte varints).
 PEEK_PREFIX_BYTES = 128
@@ -101,41 +114,19 @@ def peek_matrix_info(data: bytes) -> dict:
 
     Only the leading metadata fields are parsed — a
     :data:`PEEK_PREFIX_BYTES` prefix is always enough — so the serving
-    registry can list matrices (kind, shape, variant) without paying
-    the load cost.  Returns a dict with ``kind`` (``csrv`` / ``gcm`` /
-    ``blocked``) and ``shape``, plus ``variant`` / ``c_length`` /
-    ``n_rules`` for grammar payloads and ``n_blocks`` for blocked ones.
+    registry can list matrices without paying the load cost.  Returns a
+    dict with ``kind`` and ``shape``, plus per-format extras
+    (``variant`` / ``c_length`` / ``n_rules`` for grammar payloads,
+    ``n_blocks`` for blocked ones, ``n_groups`` for CLA, ``nnz`` for
+    the CSR family).
     """
-    if data[: len(_MAGIC)] != _MAGIC:
-        raise SerializationError("bad magic — not a GCMX blob")
-    pos = len(_MAGIC)
-    if pos + 2 > len(data):
-        raise SerializationError("truncated header")
-    version, kind = data[pos], data[pos + 1]
-    if version != _VERSION:
-        raise SerializationError(f"unsupported version {version}")
-    if kind not in _KIND_NAMES:
-        raise SerializationError(f"unknown kind tag {kind}")
-    pos += 2
-    info: dict = {"kind": _KIND_NAMES[kind]}
-    if kind == _KIND_GCM:
-        if pos >= len(data):
-            raise SerializationError("truncated GCM payload")
-        variant = _TAG_VARIANTS.get(data[pos])
-        if variant is None:
-            raise SerializationError(f"unknown variant tag {data[pos]}")
-        info["variant"] = variant
-        pos += 1
-    n, pos = decode_uvarint(data, pos)
-    m, pos = decode_uvarint(data, pos)
-    info["shape"] = (n, m)
-    if kind == _KIND_GCM:
-        _nt_base, pos = decode_uvarint(data, pos)
-        info["c_length"], pos = decode_uvarint(data, pos)
-        info["n_rules"], pos = decode_uvarint(data, pos)
-    elif kind == _KIND_BLOCKED:
-        info["n_blocks"], pos = decode_uvarint(data, pos)
-    return info
+    from repro import formats
+
+    kind, pos = _read_header(data)
+    spec = formats.by_kind(kind)
+    if spec.peek is None:
+        raise SerializationError(f"format {spec.name!r} has no header peek")
+    return spec.peek(data, pos)
 
 
 def read_matrix_info(path) -> dict:
@@ -153,11 +144,34 @@ def read_matrix_info(path) -> dict:
     return info
 
 
+def format_of_info(info: dict) -> str:
+    """Registry format name described by a peeked header info dict.
+
+    The ``kind`` field names the format directly except for grammar
+    payloads, where the shared ``gcm`` tag is refined by the variant.
+    """
+    if info.get("kind") == "gcm":
+        return info.get("variant", "gcm")
+    return str(info.get("kind"))
+
+
 # -- encoding helpers -----------------------------------------------------------------
 
 
 def _header(kind: int) -> bytes:
     return _MAGIC + bytes([_VERSION, kind])
+
+
+def _read_header(data: bytes) -> tuple[int, int]:
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise SerializationError("bad magic — not a GCMX blob")
+    pos = len(_MAGIC)
+    if pos + 2 > len(data):
+        raise SerializationError("truncated header")
+    version, kind = data[pos], data[pos + 1]
+    if version != _VERSION:
+        raise SerializationError(f"unsupported version {version}")
+    return kind, pos + 2
 
 
 def _put_bytes(blob: bytes) -> bytes:
@@ -171,45 +185,81 @@ def _get_bytes(data: bytes, pos: int) -> tuple[bytes, int]:
     return data[pos : pos + length], pos + length
 
 
-def _put_values(values: np.ndarray) -> bytes:
+def _put_floats(values: np.ndarray) -> bytes:
     return _put_bytes(np.ascontiguousarray(values, dtype=np.float64).tobytes())
 
 
-def _get_values(data: bytes, pos: int) -> tuple[np.ndarray, int]:
+def _get_floats(data: bytes, pos: int) -> tuple[np.ndarray, int]:
     raw, pos = _get_bytes(data, pos)
     return np.frombuffer(raw, dtype=np.float64).copy(), pos
 
 
-def _csrv_payload(matrix: CSRVMatrix, include_values: bool) -> bytes:
+def _put_ints(values: np.ndarray) -> bytes:
+    """Bit-packed nonnegative integer array (IntVector framing)."""
+    return _put_bytes(IntVector(np.asarray(values, dtype=np.int64)).to_bytes())
+
+
+def _get_ints(data: bytes, pos: int) -> tuple[np.ndarray, int]:
+    raw, pos = _get_bytes(data, pos)
+    return IntVector.from_bytes(raw).to_numpy(), pos
+
+
+def _put_shape(shape: tuple[int, int]) -> bytes:
+    return encode_uvarint(int(shape[0])) + encode_uvarint(int(shape[1]))
+
+
+def _get_shape(data: bytes, pos: int) -> tuple[tuple[int, int], int]:
+    n, pos = decode_uvarint(data, pos)
+    m, pos = decode_uvarint(data, pos)
+    return (n, m), pos
+
+
+def _peek_shape_only(kind_name: str):
+    """Peek function for payloads that lead with the two shape varints."""
+
+    def peek(data: bytes, pos: int) -> dict:
+        shape, _ = _get_shape(data, pos)
+        return {"kind": kind_name, "shape": shape}
+
+    return peek
+
+
+# -- CSRV ------------------------------------------------------------------------------
+
+
+def csrv_payload(matrix: CSRVMatrix, include_values: bool = True) -> bytes:
     out = bytearray()
-    out += encode_uvarint(matrix.shape[0])
-    out += encode_uvarint(matrix.shape[1])
+    out += _put_shape(matrix.shape)
     if include_values:
-        out += _put_values(matrix.values)
+        out += _put_floats(matrix.values)
     out += _put_bytes(IntVector(matrix.s).to_bytes())
     return bytes(out)
 
 
-def _read_csrv(data: bytes, pos: int, values) -> tuple[CSRVMatrix, int]:
-    n, pos = decode_uvarint(data, pos)
-    m, pos = decode_uvarint(data, pos)
+def read_csrv(data: bytes, pos: int, values=None) -> tuple[CSRVMatrix, int]:
+    shape, pos = _get_shape(data, pos)
     if values is None:
-        values, pos = _get_values(data, pos)
+        values, pos = _get_floats(data, pos)
     raw, pos = _get_bytes(data, pos)
     s = IntVector.from_bytes(raw).to_numpy()
-    return CSRVMatrix(s, values, (n, m)), pos
+    return CSRVMatrix(s, values, shape), pos
 
 
-def _gcm_payload(matrix: GrammarCompressedMatrix, include_values: bool) -> bytes:
+peek_csrv = _peek_shape_only("csrv")
+
+
+# -- grammar (all three variants share one payload) ------------------------------------
+
+
+def gcm_payload(matrix: GrammarCompressedMatrix, include_values: bool = True) -> bytes:
     out = bytearray()
     out.append(_VARIANT_TAGS[matrix.variant])
-    out += encode_uvarint(matrix.shape[0])
-    out += encode_uvarint(matrix.shape[1])
+    out += _put_shape(matrix.shape)
     out += encode_uvarint(matrix.nt_base)
     out += encode_uvarint(matrix.c_length)
     out += encode_uvarint(matrix.n_rules)
     if include_values:
-        out += _put_values(matrix.values)
+        out += _put_floats(matrix.values)
     c_storage = matrix._c_storage
     r_storage = matrix._r_storage
     if matrix.variant == "re_32":
@@ -224,7 +274,7 @@ def _gcm_payload(matrix: GrammarCompressedMatrix, include_values: bool) -> bytes
     return bytes(out)
 
 
-def _read_gcm(data: bytes, pos: int, values) -> tuple[GrammarCompressedMatrix, int]:
+def read_gcm(data: bytes, pos: int, values=None) -> tuple[GrammarCompressedMatrix, int]:
     if pos >= len(data):
         raise SerializationError("truncated GCM payload")
     tag = data[pos]
@@ -232,13 +282,12 @@ def _read_gcm(data: bytes, pos: int, values) -> tuple[GrammarCompressedMatrix, i
     variant = _TAG_VARIANTS.get(tag)
     if variant is None:
         raise SerializationError(f"unknown variant tag {tag}")
-    n, pos = decode_uvarint(data, pos)
-    m, pos = decode_uvarint(data, pos)
+    shape, pos = _get_shape(data, pos)
     nt_base, pos = decode_uvarint(data, pos)
     c_length, pos = decode_uvarint(data, pos)
     n_rules, pos = decode_uvarint(data, pos)
     if values is None:
-        values, pos = _get_values(data, pos)
+        values, pos = _get_floats(data, pos)
     raw_c, pos = _get_bytes(data, pos)
     raw_r, pos = _get_bytes(data, pos)
     if variant == "re_32":
@@ -252,7 +301,7 @@ def _read_gcm(data: bytes, pos: int, values) -> tuple[GrammarCompressedMatrix, i
         r_storage = IntVector.from_bytes(raw_r)
     matrix = GrammarCompressedMatrix(
         variant,
-        (n, m),
+        shape,
         values,
         nt_base,
         c_storage,
@@ -263,44 +312,281 @@ def _read_gcm(data: bytes, pos: int, values) -> tuple[GrammarCompressedMatrix, i
     return matrix, pos
 
 
-def _blocked_payload(matrix: BlockedMatrix) -> bytes:
+def peek_gcm(data: bytes, pos: int) -> dict:
+    if pos >= len(data):
+        raise SerializationError("truncated GCM payload")
+    variant = _TAG_VARIANTS.get(data[pos])
+    if variant is None:
+        raise SerializationError(f"unknown variant tag {data[pos]}")
+    pos += 1
+    shape, pos = _get_shape(data, pos)
+    _nt_base, pos = decode_uvarint(data, pos)
+    c_length, pos = decode_uvarint(data, pos)
+    n_rules, pos = decode_uvarint(data, pos)
+    return {
+        "kind": "gcm",
+        "variant": variant,
+        "shape": shape,
+        "c_length": c_length,
+        "n_rules": n_rules,
+    }
+
+
+# -- blocked ---------------------------------------------------------------------------
+
+
+#: Per-block codecs inside a blocked payload, by registry kind tag
+#: (blocks store their payload without the shared ``V``).
+_BLOCK_ENCODERS = {
+    KIND_CSRV: lambda block: csrv_payload(block, include_values=False),
+    KIND_GCM: lambda block: gcm_payload(block, include_values=False),
+}
+
+
+def blocked_payload(matrix: BlockedMatrix) -> bytes:
+    from repro import formats
+
     blocks = matrix.blocks
     out = bytearray()
-    out += encode_uvarint(matrix.shape[0])
-    out += encode_uvarint(matrix.shape[1])
+    out += _put_shape(matrix.shape)
     out += encode_uvarint(len(blocks))
     # All blocks share one V (Section 4.1); store it once.
-    out += _put_values(blocks[0].values)
+    out += _put_floats(blocks[0].values)
     for block in blocks:
-        if isinstance(block, CSRVMatrix):
-            out.append(_KIND_CSRV)
-            out += _csrv_payload(block, include_values=False)
-        elif isinstance(block, GrammarCompressedMatrix):
-            out.append(_KIND_GCM)
-            out += _gcm_payload(block, include_values=False)
-        else:
+        kind = formats.spec_for(block).kind
+        encoder = _BLOCK_ENCODERS.get(kind)
+        if encoder is None:
             raise SerializationError(
                 f"cannot serialize block of type {type(block).__name__}"
             )
+        out.append(kind)
+        out += encoder(block)
     return bytes(out)
 
 
-def _read_blocked(data: bytes, pos: int) -> BlockedMatrix:
-    n, pos = decode_uvarint(data, pos)
-    m, pos = decode_uvarint(data, pos)
+def read_blocked(data: bytes, pos: int) -> tuple[BlockedMatrix, int]:
+    shape, pos = _get_shape(data, pos)
     n_blocks, pos = decode_uvarint(data, pos)
-    values, pos = _get_values(data, pos)
+    values, pos = _get_floats(data, pos)
     blocks = []
     for _ in range(n_blocks):
         if pos >= len(data):
             raise SerializationError("truncated blocked payload")
         kind = data[pos]
         pos += 1
-        if kind == _KIND_CSRV:
-            block, pos = _read_csrv(data, pos, values=values)
-        elif kind == _KIND_GCM:
-            block, pos = _read_gcm(data, pos, values=values)
+        if kind == KIND_CSRV:
+            block, pos = read_csrv(data, pos, values=values)
+        elif kind == KIND_GCM:
+            block, pos = read_gcm(data, pos, values=values)
         else:
             raise SerializationError(f"unknown block kind {kind}")
         blocks.append(block)
-    return BlockedMatrix(blocks, (n, m))
+    return BlockedMatrix(blocks, shape), pos
+
+
+def peek_blocked(data: bytes, pos: int) -> dict:
+    shape, pos = _get_shape(data, pos)
+    n_blocks, pos = decode_uvarint(data, pos)
+    return {"kind": "blocked", "shape": shape, "n_blocks": n_blocks}
+
+
+# -- dense -----------------------------------------------------------------------------
+
+
+def dense_payload(matrix) -> bytes:
+    dense = matrix.to_dense()
+    return _put_shape(matrix.shape) + _put_floats(dense.ravel())
+
+
+def read_dense(data: bytes, pos: int):
+    from repro.baselines.dense import DenseMatrix
+
+    shape, pos = _get_shape(data, pos)
+    flat, pos = _get_floats(data, pos)
+    if flat.size != shape[0] * shape[1]:
+        raise SerializationError(
+            f"dense payload has {flat.size} values for shape {shape}"
+        )
+    return DenseMatrix(flat.reshape(shape)), pos
+
+
+peek_dense = _peek_shape_only("dense")
+
+
+# -- CSR / CSR-IV ----------------------------------------------------------------------
+
+
+def csr_payload(matrix) -> bytes:
+    """Shared payload of the scipy-backed CSR family: the raw triplet."""
+    csr = matrix.scipy_csr()
+    out = bytearray()
+    out += _put_shape(matrix.shape)
+    out += encode_uvarint(int(csr.nnz))
+    out += _put_floats(csr.data)
+    out += _put_ints(csr.indices)
+    out += _put_ints(csr.indptr)
+    return bytes(out)
+
+
+def _read_csr_arrays(data: bytes, pos: int):
+    from scipy import sparse
+
+    shape, pos = _get_shape(data, pos)
+    nnz, pos = decode_uvarint(data, pos)
+    values, pos = _get_floats(data, pos)
+    indices, pos = _get_ints(data, pos)
+    indptr, pos = _get_ints(data, pos)
+    if values.size != nnz or indices.size != nnz or indptr.size != shape[0] + 1:
+        raise SerializationError("inconsistent CSR payload")
+    return sparse.csr_matrix((values, indices, indptr), shape=shape), pos
+
+
+def read_csr(data: bytes, pos: int):
+    from repro.baselines.csr import CSRMatrix
+
+    csr, pos = _read_csr_arrays(data, pos)
+    return CSRMatrix.from_scipy(csr), pos
+
+
+def read_csr_iv(data: bytes, pos: int):
+    from repro.baselines.csr import CSRIVMatrix
+
+    csr, pos = _read_csr_arrays(data, pos)
+    return CSRIVMatrix.from_scipy(csr), pos
+
+
+def _peek_csr(kind_name: str):
+    def peek(data: bytes, pos: int) -> dict:
+        shape, pos = _get_shape(data, pos)
+        nnz, _ = decode_uvarint(data, pos)
+        return {"kind": kind_name, "shape": shape, "nnz": nnz}
+
+    return peek
+
+
+peek_csr = _peek_csr("csr")
+peek_csr_iv = _peek_csr("csr_iv")
+
+
+# -- CLA -------------------------------------------------------------------------------
+
+
+def cla_payload(matrix) -> bytes:
+    out = bytearray()
+    out += _put_shape(matrix.shape)
+    out += encode_uvarint(len(matrix.groups))
+    for group in matrix.groups:
+        tag = _CLA_GROUP_TAGS.get(group.format_name)
+        if tag is None:
+            raise SerializationError(
+                f"cannot serialize CLA group format {group.format_name!r}"
+            )
+        out.append(tag)
+        out += _put_ints(group.columns)
+        if group.format_name == "DDC":
+            out += _put_shape(group.dictionary.shape)
+            out += _put_floats(group.dictionary.ravel())
+            out += _put_ints(group.codes)
+        elif group.format_name == "OLE":
+            out += _put_shape(group.dictionary.shape)
+            out += _put_floats(group.dictionary.ravel())
+            out += _put_ints(group.rows_concat)
+            out += _put_ints(group.tuple_of_pos)
+        elif group.format_name == "RLE":
+            out += _put_shape(group.dictionary.shape)
+            out += _put_floats(group.dictionary.ravel())
+            out += _put_ints(group.run_starts)
+            out += _put_ints(group.run_ends)
+            out += _put_ints(group.run_tuples)
+        else:  # UC
+            out += _put_floats(group.block.ravel())
+    return bytes(out)
+
+
+def read_cla(data: bytes, pos: int):
+    from repro.cla.colgroup import (
+        ColumnGroupDDC,
+        ColumnGroupOLE,
+        ColumnGroupRLE,
+        ColumnGroupUC,
+    )
+    from repro.cla.matrix import CLAMatrix
+
+    shape, pos = _get_shape(data, pos)
+    n_rows = shape[0]
+    n_groups, pos = decode_uvarint(data, pos)
+    groups = []
+    for _ in range(n_groups):
+        if pos >= len(data):
+            raise SerializationError("truncated CLA payload")
+        tag = data[pos]
+        pos += 1
+        columns, pos = _get_ints(data, pos)
+        if tag == _CLA_GROUP_TAGS["UC"]:
+            flat, pos = _get_floats(data, pos)
+            block = flat.reshape(n_rows, columns.size)
+            groups.append(ColumnGroupUC(columns, n_rows, block))
+            continue
+        dict_shape, pos = _get_shape(data, pos)
+        flat, pos = _get_floats(data, pos)
+        dictionary = flat.reshape(dict_shape)
+        if tag == _CLA_GROUP_TAGS["DDC"]:
+            codes, pos = _get_ints(data, pos)
+            groups.append(ColumnGroupDDC(columns, n_rows, dictionary, codes))
+        elif tag == _CLA_GROUP_TAGS["OLE"]:
+            rows_concat, pos = _get_ints(data, pos)
+            tuple_of_pos, pos = _get_ints(data, pos)
+            groups.append(
+                ColumnGroupOLE(columns, n_rows, dictionary, rows_concat, tuple_of_pos)
+            )
+        elif tag == _CLA_GROUP_TAGS["RLE"]:
+            run_starts, pos = _get_ints(data, pos)
+            run_ends, pos = _get_ints(data, pos)
+            run_tuples, pos = _get_ints(data, pos)
+            groups.append(
+                ColumnGroupRLE(
+                    columns, n_rows, dictionary, run_starts, run_ends, run_tuples
+                )
+            )
+        else:
+            raise SerializationError(f"unknown CLA group tag {tag}")
+    return CLAMatrix(groups, shape), pos
+
+
+def peek_cla(data: bytes, pos: int) -> dict:
+    shape, pos = _get_shape(data, pos)
+    n_groups, _ = decode_uvarint(data, pos)
+    return {"kind": "cla", "shape": shape, "n_groups": n_groups}
+
+
+# -- gzip / xz -------------------------------------------------------------------------
+
+
+def stream_payload(matrix) -> bytes:
+    """Payload of the whole-file compressors: shape + the stream."""
+    return _put_shape(matrix.shape) + _put_bytes(matrix.blob)
+
+
+def _read_stream(cls):
+    def read(data: bytes, pos: int):
+        shape, pos = _get_shape(data, pos)
+        blob, pos = _get_bytes(data, pos)
+        return cls.from_blob(shape, blob), pos
+
+    return read
+
+
+def read_gzip(data: bytes, pos: int):
+    from repro.baselines.gzip_xz import GzipMatrix
+
+    return _read_stream(GzipMatrix)(data, pos)
+
+
+def read_xz(data: bytes, pos: int):
+    from repro.baselines.gzip_xz import XzMatrix
+
+    return _read_stream(XzMatrix)(data, pos)
+
+
+peek_gzip = _peek_shape_only("gzip")
+peek_xz = _peek_shape_only("xz")

@@ -44,6 +44,7 @@ __all__ = [
     "reorder_columns",
     "compress_with_reordering",
     "REORDER_METHODS",
+    "PIPELINE_INTRA_METHODS",
     "reorder_within_rows",
     "INTRA_ROW_KEYS",
 ]

@@ -8,23 +8,27 @@ schedule is walked once (``re_32``), and the ``re_iv`` unpack /
 ``re_ans`` entropy decode of ``C`` is paid once instead of ``k`` times
 (see :meth:`repro.core.multiply.MvmEngine.right_multi`).
 
-Not every representation has a native panel kernel (the CLA and
-baseline formats answer vector requests only), so this module is the
-dispatch point: it prefers ``right_multiply_matrix`` /
-``left_multiply_matrix``, threads a :class:`~repro.serve.executor.BlockExecutor`
-through to blocked matrices, and falls back to a per-column loop
-otherwise — callers get a uniform ``(rows, k)`` contract regardless of
-the representation behind a registry name.
+Every representation speaks the :class:`repro.formats.MatrixFormat`
+protocol — panel kernels exist for all of them (native where the format
+has one, a correct per-column fallback otherwise) — so dispatch here is
+a *capability query* against the format registry, not a type switch:
+formats whose spec advertises ``supports_executor`` (row blocks, column
+groups) fan their work out over the caller's persistent
+:class:`~repro.serve.executor.BlockExecutor`; the rest run their native
+kernel with ``threads`` forwarded.
 
 ``panel_width`` bounds the batched workspace: the grammar kernel's
 auxiliary array is ``(|R|, k)`` doubles, so very wide panels on very
-large grammars are chunked into panels of at most that many columns.
+large grammars are chunked into panels of at most that many columns
+(the kernel — and any storage decode it implies — is built once and
+reused across chunks).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import formats
 from repro.errors import MatrixFormatError
 
 
@@ -54,35 +58,6 @@ def as_panel(vectors, length: int, name: str = "x") -> np.ndarray:
     return panel
 
 
-def _dispatch_panel(matrix, panel, direction: str, executor, threads: int):
-    """One panel multiplication, preferring the native batched kernel."""
-    if executor is not None and hasattr(matrix, "blocks"):
-        # The executor's own panel path handles both pool kinds (a
-        # process pool needs picklable module-level workers, which
-        # BlockedMatrix's internal lambdas are not).
-        return getattr(executor, f"{direction}_multiply_panel")(matrix, panel)
-    method = getattr(matrix, f"{direction}_multiply_matrix", None)
-    if method is not None:
-        if threads > 1:
-            try:
-                return method(panel, threads=threads)
-            except TypeError:
-                pass
-        return method(panel)
-    # No native panel kernel (CLA, dense/CSR baselines): column loop.
-    single = getattr(matrix, f"{direction}_multiply")
-    columns = []
-    for j in range(panel.shape[1]):
-        if threads > 1:
-            try:
-                columns.append(single(panel[:, j], threads=threads))
-                continue
-            except TypeError:
-                pass
-        columns.append(single(panel[:, j]))
-    return np.stack(columns, axis=1)
-
-
 def _batched(
     matrix,
     vectors,
@@ -97,27 +72,27 @@ def _batched(
         raise MatrixFormatError(
             f"panel_width must be >= 1, got {panel_width}"
         )
-    k = panel.shape[1]
-    if panel_width is None or k <= panel_width:
-        return _dispatch_panel(matrix, panel, direction, executor, threads)
-    if executor is None:
-        # Representations with native chunking (the grammar formats)
-        # build their engine once and reuse it across chunks — for
-        # re_iv/re_ans that is one storage decode per request, not one
-        # per chunk.
-        method = getattr(matrix, f"{direction}_multiply_matrix", None)
-        if method is not None:
-            try:
-                return method(panel, panel_width=panel_width)
-            except TypeError:
-                pass
-    chunks = [
-        _dispatch_panel(
-            matrix, panel[:, lo : lo + panel_width], direction, executor, threads
+    spec = formats.spec_for(matrix)
+    if executor is not None and spec.supports_executor:
+        # The executor owns the pool-aware panel path: it knows which
+        # worker functions a process pool can pickle and writes thread
+        # -pool results into disjoint slices of one output.
+        method = getattr(executor, f"{direction}_multiply_panel")
+        k = panel.shape[1]
+        if panel_width is None or k <= panel_width:
+            return method(matrix, panel)
+        return np.hstack(
+            [
+                method(matrix, panel[:, lo : lo + panel_width])
+                for lo in range(0, k, panel_width)
+            ]
         )
-        for lo in range(0, k, panel_width)
-    ]
-    return np.hstack(chunks)
+    # Uniform protocol kernel: native panel implementations chunk over
+    # one kernel build (for re_iv/re_ans that is one storage decode per
+    # request, not one per chunk); formats without block/group
+    # parallelism simply ignore ``threads``.
+    method = getattr(matrix, f"{direction}_multiply_matrix")
+    return method(panel, threads=threads, panel_width=panel_width)
 
 
 def batch_right_multiply(
@@ -132,8 +107,9 @@ def batch_right_multiply(
     ``vectors`` is anything :func:`as_panel` accepts; the result has
     shape ``(n_rows, k)``.  ``executor`` (a
     :class:`~repro.serve.executor.BlockExecutor`) or ``threads`` are
-    forwarded to representations that parallelise over row blocks or
-    column groups; ``panel_width`` caps the per-call workspace.
+    forwarded to representations whose registry spec advertises
+    block/group parallelism; ``panel_width`` caps the per-call
+    workspace.
     """
     return _batched(matrix, vectors, "right", executor, threads, panel_width)
 

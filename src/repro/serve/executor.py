@@ -232,40 +232,44 @@ class BlockExecutor:
             out += p
         return out
 
-    def right_multiply_panel(self, blocked, x_panel: np.ndarray) -> np.ndarray:
-        """``Y = M X`` for an ``(m, k)`` panel, blocks in parallel.
+    def right_multiply_panel(self, matrix, x_panel: np.ndarray) -> np.ndarray:
+        """``Y = M X`` for an ``(m, k)`` panel, block work in parallel.
 
-        Thread pools write each block's rows straight into a disjoint
-        slice of one preallocated output (no per-block copy); process
-        pools return parts and concatenate, since child processes
-        cannot see the parent's buffer.
+        Thread pools run the matrix's own panel kernel with this
+        executor threaded through — row-blocked matrices write each
+        block straight into a disjoint slice of one preallocated
+        output (no per-block copy), group-parallel matrices (CLA) fan
+        their groups out over the same pool.  Process pools need
+        picklable module-level workers, so row-blocked matrices take
+        the explicit per-block path; other formats hand the executor to
+        their kernel, which maps picklable partials over it.
         """
         x_panel = np.asarray(x_panel, dtype=np.float64)
         if x_panel.ndim == 1:
             x_panel = x_panel[:, None]
-        if self._kind == "thread":
-            return blocked.right_multiply_matrix(x_panel, executor=self)
+        if self._kind == "thread" or not hasattr(matrix, "blocks"):
+            return matrix.right_multiply_matrix(x_panel, executor=self)
         parts = self._starmap(
-            _right_panel_one, [(b, x_panel) for b in blocked.blocks]
+            _right_panel_one, [(b, x_panel) for b in matrix.blocks]
         )
         return np.vstack(parts)
 
-    def left_multiply_panel(self, blocked, y_panel: np.ndarray) -> np.ndarray:
-        """``Xᵗ = Yᵗ M`` for an ``(n, k)`` panel, blocks in parallel."""
+    def left_multiply_panel(self, matrix, y_panel: np.ndarray) -> np.ndarray:
+        """``Xᵗ = Yᵗ M`` for an ``(n, k)`` panel, block work in parallel."""
         y_panel = np.asarray(y_panel, dtype=np.float64)
         if y_panel.ndim == 1:
             y_panel = y_panel[:, None]
-        if self._kind == "thread":
-            return blocked.left_multiply_matrix(y_panel, executor=self)
-        offsets = _block_offsets(blocked)
+        if self._kind == "thread" or not hasattr(matrix, "blocks"):
+            return matrix.left_multiply_matrix(y_panel, executor=self)
+        offsets = _block_offsets(matrix)
         parts = self._starmap(
             _left_panel_one,
             [
                 (b, y_panel[offsets[i] : offsets[i + 1]])
-                for i, b in enumerate(blocked.blocks)
+                for i, b in enumerate(matrix.blocks)
             ],
         )
-        out = np.zeros((blocked.shape[1], y_panel.shape[1]), dtype=np.float64)
+        out = np.zeros((matrix.shape[1], y_panel.shape[1]), dtype=np.float64)
         for p in parts:
             out += p
         return out

@@ -16,7 +16,8 @@ manager between the two:
   alone, so every registered matrix remains servable.
 
 The budget charge is :func:`resident_estimate` — ``size_bytes()``
-*plus* the decoded working caches a served matrix accrues (a CSRV
+*plus* each format's self-reported
+:meth:`~repro.formats.MatrixFormat.resident_overhead_bytes` (a CSRV
 block caches its decoded views and a scipy CSR for the panel kernels;
 ``re_32`` caches its multiplication engine), so the budget tracks what
 the process actually keeps live, not just the compressed payload.
@@ -34,10 +35,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.core.csrv import CSRVMatrix
-from repro.core.gcm import GrammarCompressedMatrix
 from repro.errors import ReproError, SerializationError
-from repro.io.serialize import load_matrix, read_matrix_info
+from repro.io.serialize import format_of_info, load_matrix, read_matrix_info
 
 #: File suffix scanned by :meth:`MatrixRegistry.scan`.
 GCMX_SUFFIX = ".gcmx"
@@ -47,24 +46,14 @@ def resident_estimate(matrix) -> int:
     """Estimated live bytes of a served matrix: payload + working caches.
 
     Serving multiplies repeatedly, so the caches warm immediately and
-    are charged up front: a CSRV block's decoded ``(row, ℓ, j)`` views
-    (3 × 8 bytes/nonzero) plus its scipy CSR panel view (~16
-    bytes/nonzero + the index pointer); a cached ``re_32`` engine's
-    gather indices (≈ one int64 per symbol of ``C`` and six per rule).
-    ``re_iv``/``re_ans`` rebuild their engines per call and cache
-    nothing.
+    are charged up front.  Each format reports its own cache footprint
+    (:meth:`repro.formats.MatrixFormat.resident_overhead_bytes`): a
+    CSRV block's decoded views and scipy CSR panel view, a cached
+    ``re_32`` engine's gather indices; ``re_iv``/``re_ans`` rebuild
+    their engines per call and report 0.
     """
-    total = int(matrix.size_bytes())
-    blocks = matrix.blocks if hasattr(matrix, "blocks") else [matrix]
-    for block in blocks:
-        if isinstance(block, CSRVMatrix):
-            total += 40 * block.nnz + 8 * (block.shape[0] + 1)
-        elif (
-            isinstance(block, GrammarCompressedMatrix)
-            and block.variant == "re_32"
-        ):
-            total += 8 * (block.c_length + 6 * block.n_rules)
-    return total
+    overhead = getattr(matrix, "resident_overhead_bytes", None)
+    return int(matrix.size_bytes()) + int(overhead() if overhead else 0)
 
 
 @dataclass
@@ -165,6 +154,7 @@ class MatrixRegistry:
         with self._lock:
             entry = self._require(name)
             out = {"name": name, "path": str(entry.path), **entry.info}
+            out["format"] = format_of_info(entry.info)
             out["resident"] = entry.resident
             if entry.resident:
                 out["resident_bytes"] = entry.resident_bytes

@@ -212,6 +212,7 @@ class MatrixServer:
         self.stats.record(name, seconds)
         return {
             "matrix": name,
+            "format": getattr(matrix, "format_name", None),
             "op": op,
             "k": int(result.shape[1]),
             "seconds": seconds,

@@ -1,0 +1,198 @@
+"""The format conformance suite: one battery over every registered format.
+
+Parametrized over :func:`repro.formats.available`, so any future
+registration is automatically held to the same contract: lossless
+roundtrip against dense, panel-vs-loop kernel equivalence, ``out=``
+aliasing, operator sugar, serialization, and size accounting.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import formats
+from repro.errors import MatrixFormatError
+from repro.io.serialize import (
+    loads_matrix,
+    peek_matrix_info,
+    saves_matrix,
+)
+from tests.conftest import make_structured
+
+FORMAT_NAMES = formats.available()
+
+#: Build options that exercise multi-block / multi-group structure for
+#: the formats that have it (every other format builds with defaults).
+BUILD_OPTS = {
+    "blocked": {"variant": "re_iv", "n_blocks": 3},
+    "auto": {"n_blocks": 3},
+}
+
+
+@pytest.fixture(scope="module")
+def dense():
+    rng = np.random.default_rng(987)
+    return make_structured(rng, n=48, m=11)
+
+
+@pytest.fixture(scope="module", params=FORMAT_NAMES)
+def built(request, dense):
+    """(name, matrix) for every registered format, built once per module."""
+    name = request.param
+    return name, repro.compress(dense, format=name, **BUILD_OPTS.get(name, {}))
+
+
+class TestProtocolConformance:
+    def test_registered_spec_matches_instance(self, built):
+        name, matrix = built
+        spec = formats.get(name)
+        assert isinstance(matrix, spec.cls)
+        # The instance resolves back to a registered spec ("auto" is a
+        # build-only name whose instances resolve to "blocked").
+        resolved = formats.spec_for(matrix)
+        assert resolved.name == matrix.format_name
+        assert isinstance(matrix, formats.MatrixFormat)
+
+    def test_roundtrip_vs_dense(self, built, dense):
+        _, matrix = built
+        assert matrix.shape == dense.shape
+        assert np.allclose(matrix.to_dense(), dense)
+
+    def test_single_vector_kernels(self, built, dense):
+        _, matrix = built
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(dense.shape[1])
+        y = rng.standard_normal(dense.shape[0])
+        assert np.allclose(matrix.right_multiply(x), dense @ x)
+        assert np.allclose(matrix.left_multiply(y), y @ dense)
+        assert np.allclose(matrix.transpose_multiply(y), dense.T @ y)
+
+    def test_panel_matches_loop(self, built, dense):
+        """Panel kernels agree with k stacked single multiplications."""
+        _, matrix = built
+        rng = np.random.default_rng(2)
+        X = rng.standard_normal((dense.shape[1], 6))
+        Y = rng.standard_normal((dense.shape[0], 4))
+        loop_right = np.stack(
+            [matrix.right_multiply(X[:, j]) for j in range(X.shape[1])], axis=1
+        )
+        loop_left = np.stack(
+            [matrix.left_multiply(Y[:, j]) for j in range(Y.shape[1])], axis=1
+        )
+        assert np.allclose(matrix.right_multiply_matrix(X), loop_right)
+        assert np.allclose(matrix.left_multiply_matrix(Y), loop_left)
+
+    def test_panel_width_chunking(self, built, dense):
+        _, matrix = built
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((dense.shape[1], 7))
+        assert np.allclose(
+            matrix.right_multiply_matrix(X, panel_width=3), dense @ X
+        )
+        with pytest.raises(MatrixFormatError):
+            matrix.right_multiply_matrix(X, panel_width=0)
+
+    def test_out_aliasing(self, built, dense):
+        """``out=`` receives the result in place and is returned."""
+        _, matrix = built
+        rng = np.random.default_rng(4)
+        X = rng.standard_normal((dense.shape[1], 5))
+        out = np.full((dense.shape[0], 5), np.nan)
+        returned = matrix.right_multiply_matrix(X, out=out)
+        assert returned is out
+        assert np.allclose(out, dense @ X)
+        out_left = np.full((dense.shape[1], 3), np.nan)
+        Y = rng.standard_normal((dense.shape[0], 3))
+        returned = matrix.left_multiply_matrix(Y, out=out_left)
+        assert returned is out_left
+        assert np.allclose(out_left, dense.T @ Y)
+
+    def test_out_shape_rejected(self, built, dense):
+        _, matrix = built
+        X = np.ones((dense.shape[1], 2))
+        with pytest.raises(MatrixFormatError):
+            matrix.right_multiply_matrix(X, out=np.empty((1, 1)))
+
+    def test_matmul_operators(self, built, dense):
+        _, matrix = built
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(dense.shape[1])
+        y = rng.standard_normal(dense.shape[0])
+        X = rng.standard_normal((dense.shape[1], 3))
+        Y = rng.standard_normal((4, dense.shape[0]))
+        assert np.allclose(matrix @ x, dense @ x)
+        assert np.allclose(matrix @ X, dense @ X)
+        assert np.allclose(y @ matrix, y @ dense)
+        assert np.allclose(Y @ matrix, Y @ dense)
+
+    def test_matmul_validation_errors(self, built, dense):
+        _, matrix = built
+        with pytest.raises(MatrixFormatError):
+            matrix @ np.ones(dense.shape[1] + 1)
+        with pytest.raises(MatrixFormatError):
+            np.ones(dense.shape[0] + 2) @ matrix
+        with pytest.raises(MatrixFormatError):
+            matrix @ "not numeric"
+
+    def test_threads_and_executor_accepted(self, built, dense):
+        """The uniform kernel signature works for every format."""
+        from repro.serve.executor import BlockExecutor
+
+        _, matrix = built
+        x = np.ones(dense.shape[1])
+        assert np.allclose(matrix.right_multiply(x, threads=2), dense @ x)
+        with BlockExecutor(2) as ex:
+            assert np.allclose(
+                matrix.right_multiply(x, executor=ex), dense @ x
+            )
+        with pytest.raises(MatrixFormatError):
+            matrix.right_multiply(x, threads=0)
+
+    def test_size_accounting(self, built):
+        _, matrix = built
+        assert matrix.size_bytes() > 0
+        breakdown = matrix.size_breakdown()
+        assert breakdown and all(v >= 0 for v in breakdown.values())
+        assert sum(breakdown.values()) == matrix.size_bytes()
+        assert matrix.resident_overhead_bytes() >= 0
+
+    def test_serialize_roundtrip(self, built, dense):
+        _, matrix = built
+        blob = saves_matrix(matrix)
+        back = loads_matrix(blob)
+        assert type(back) is type(matrix)
+        assert back.format_name == matrix.format_name
+        assert back.shape == matrix.shape
+        assert back.size_bytes() == matrix.size_bytes()
+        assert np.allclose(back.to_dense(), dense)
+
+    def test_peek_header(self, built, dense):
+        _, matrix = built
+        info = peek_matrix_info(saves_matrix(matrix))
+        assert tuple(info["shape"]) == dense.shape
+        assert "kind" in info
+
+
+class TestBatchDispatch:
+    """The serving dispatcher answers panels for every format."""
+
+    def test_batch_right_and_left(self, built, dense):
+        from repro.serve.batch import batch_left_multiply, batch_right_multiply
+
+        _, matrix = built
+        rng = np.random.default_rng(6)
+        X = rng.standard_normal((dense.shape[1], 5))
+        Y = rng.standard_normal((dense.shape[0], 5))
+        assert np.allclose(batch_right_multiply(matrix, X), dense @ X)
+        assert np.allclose(batch_left_multiply(matrix, Y), dense.T @ Y)
+
+    def test_batch_with_executor(self, built, dense):
+        from repro.serve.batch import batch_right_multiply
+        from repro.serve.executor import BlockExecutor
+
+        _, matrix = built
+        X = np.ones((dense.shape[1], 3))
+        with BlockExecutor(2) as ex:
+            assert np.allclose(
+                batch_right_multiply(matrix, X, executor=ex), dense @ X
+            )

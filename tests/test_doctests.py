@@ -9,9 +9,11 @@ import repro.bench.parallel
 import repro.core.entropy
 import repro.encoders.int_vector
 import repro.encoders.varint
+import repro.formats
 
 MODULES = [
     repro,
+    repro.formats,
     repro.encoders.int_vector,
     repro.encoders.varint,
     repro.core.entropy,
