@@ -1,0 +1,236 @@
+"""Hot-path regression bench: compression build time and serve-path MVM.
+
+This benchmark records the measurement trajectory for the repo's two
+hottest paths (see ``BENCH_hotpaths.json``, committed at the repo
+root):
+
+- **compress** — separator-aware RePair, ``strategy="exact"`` (the
+  pure-Python reference heap loop) vs ``strategy="batch"`` (the
+  vectorised generation rounds), with the grammar sizes and the
+  ``re_ans`` compression ratios of both, plus the exact grammar's
+  fingerprint so seed drift is detectable;
+- **multiply** — per grammar variant, the served single-vector MVM
+  latency in three configurations: *cold* (first request: storage
+  decode + plan build + multiply, plan retention on), *warm* (every
+  later request: retained plan, no decode, no rebuild), and
+  *no-cache* (plan retention off — the pre-retention serving cost,
+  paid on every request).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py            # full
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick    # CI smoke
+
+``--check-baseline PATH`` compares the measured warm latencies against
+a previously committed run and exits non-zero when any regresses by
+more than ``--tolerance`` (default 2x) — the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from statistics import median
+
+import numpy as np
+
+from repro.core.csrv import CSRVMatrix
+from repro.core.gcm import VARIANTS, GrammarCompressedMatrix, plan_cache
+from repro.core.repair import repair_compress
+from repro.datasets import get_dataset
+
+#: Full-mode profiles: (dataset, synthetic rows).  ``mnist2m`` at 5000
+#: rows is the largest (~1M CSRV symbols — the scale the exact RePair
+#: caps out at, and where the batch strategy's speedup is measured).
+FULL_PROFILES = (("census", 5000), ("airline78", 6000), ("mnist2m", 5000))
+
+#: Quick-mode profile for the CI perf-smoke job.
+QUICK_PROFILES = (("census", 400),)
+
+SCHEMA = "bench_hotpaths/v1"
+
+
+def _time_once(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_compress(seq: np.ndarray, dense_bytes: int, values, shape) -> dict:
+    """Time both RePair strategies and report sizes/ratios."""
+    exact_seconds, exact = _time_once(lambda: repair_compress(seq))
+    batch_seconds, batch = _time_once(
+        lambda: repair_compress(seq, strategy="batch")
+    )
+    out = {
+        "seq_len": int(seq.size),
+        "exact_seconds": exact_seconds,
+        "batch_seconds": batch_seconds,
+        "batch_speedup": exact_seconds / batch_seconds,
+        "exact_grammar_size": int(exact.size),
+        "batch_grammar_size": int(batch.size),
+        "batch_size_overhead_pct": 100.0 * batch.size / exact.size - 100.0,
+        "exact_fingerprint": exact.fingerprint(),
+    }
+    for label, grammar in (("exact", exact), ("batch", batch)):
+        gm = GrammarCompressedMatrix.from_grammar(grammar, values, shape, "re_ans")
+        out[f"{label}_re_ans_ratio_pct"] = 100.0 * gm.size_bytes() / dense_bytes
+    return out, exact
+
+
+def bench_multiply(grammar, values, shape, warm_iters: int, cold_reps: int) -> dict:
+    """Cold/warm/no-cache single-vector MVM latency per grammar variant."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(shape[1])
+    results = {}
+    for variant in VARIANTS:
+        matrix = GrammarCompressedMatrix.from_grammar(grammar, values, shape, variant)
+        # no-cache: per-call decode + schedule rebuild (retention off).
+        matrix.enable_plan_retention(False)
+        nocache = median(
+            _time_once(lambda: matrix.right_multiply(x))[0]
+            for _ in range(max(3, cold_reps))
+        )
+        # cold: first served request — fresh instance, retention on,
+        # empty plan cache.  Instances share the storage arrays, so
+        # re-instantiating is cheap; the cache is cleared so the cold
+        # number includes a real decode + plan build.
+        colds = []
+        for _ in range(cold_reps):
+            fresh = GrammarCompressedMatrix.from_grammar(
+                grammar, values, shape, variant
+            )
+            fresh.enable_plan_retention(True)
+            plan_cache().clear()
+            colds.append(_time_once(lambda: fresh.right_multiply(x))[0])
+        cold = median(colds)
+        # warm: every later request on the retained plan.
+        matrix.enable_plan_retention(True)
+        matrix.right_multiply(x)  # warm it
+        warm = median(
+            _time_once(lambda: matrix.right_multiply(x))[0]
+            for _ in range(warm_iters)
+        )
+        results[variant] = {
+            "cold_seconds": cold,
+            "warm_seconds": warm,
+            "nocache_seconds": nocache,
+            "warm_vs_cold": cold / warm,
+            "warm_vs_nocache": nocache / warm,
+        }
+    return results
+
+
+def run(profiles, warm_iters: int, cold_reps: int) -> dict:
+    report = {
+        "schema": SCHEMA,
+        "command": " ".join(sys.argv),
+        "profiles": {},
+    }
+    for name, rows in profiles:
+        dense = np.asarray(get_dataset(name, n_rows=rows).matrix)
+        csrv = CSRVMatrix.from_dense(dense)
+        compress, exact_grammar = bench_compress(
+            csrv.s, dense.size * 8, csrv.values, csrv.shape
+        )
+        multiply = bench_multiply(
+            exact_grammar, csrv.values, csrv.shape, warm_iters, cold_reps
+        )
+        report["profiles"][name] = {
+            "rows": int(dense.shape[0]),
+            "cols": int(dense.shape[1]),
+            "compress": compress,
+            "multiply": multiply,
+        }
+        print(
+            f"{name} ({dense.shape[0]}x{dense.shape[1]}, |S|="
+            f"{compress['seq_len']:,}): compress exact "
+            f"{compress['exact_seconds']:.3f}s vs batch "
+            f"{compress['batch_seconds']:.3f}s "
+            f"(x{compress['batch_speedup']:.1f}, "
+            f"+{compress['batch_size_overhead_pct']:.2f}% size)"
+        )
+        for variant, m in multiply.items():
+            print(
+                f"  {variant}: cold {1e3 * m['cold_seconds']:.3f}ms, "
+                f"warm {1e3 * m['warm_seconds']:.3f}ms "
+                f"(x{m['warm_vs_cold']:.1f} vs cold, "
+                f"x{m['warm_vs_nocache']:.1f} vs no-cache)"
+            )
+    return report
+
+
+def check_baseline(report: dict, baseline_path: Path, tolerance: float) -> int:
+    """Fail (return 1) if any warm latency regressed beyond tolerance."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, base_profile in baseline.get("profiles", {}).items():
+        current = report["profiles"].get(name)
+        if current is None:
+            continue
+        for variant, base_m in base_profile.get("multiply", {}).items():
+            cur = current["multiply"].get(variant)
+            if cur is None:
+                failures.append(f"{name}/{variant}: missing from current run")
+                continue
+            limit = tolerance * base_m["warm_seconds"]
+            if cur["warm_seconds"] > limit:
+                failures.append(
+                    f"{name}/{variant}: warm {1e3 * cur['warm_seconds']:.3f}ms "
+                    f"> {tolerance:g}x baseline "
+                    f"{1e3 * base_m['warm_seconds']:.3f}ms"
+                )
+    if failures:
+        print("PERF REGRESSION against", baseline_path, file=sys.stderr)
+        for f in failures:
+            print(" -", f, file=sys.stderr)
+        return 1
+    print(f"baseline check OK ({baseline_path}, tolerance {tolerance:g}x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny profile + few iterations (the CI smoke configuration)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the JSON report here (default: BENCH_hotpaths.json at "
+        "the repo root in full mode, stdout-only in quick mode)",
+    )
+    parser.add_argument(
+        "--check-baseline", default=None, metavar="PATH",
+        help="compare warm-multiply latencies against a committed report "
+        "and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=2.0,
+        help="allowed warm-latency regression factor (default 2x)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        profiles, warm_iters, cold_reps = QUICK_PROFILES, 9, 3
+    else:
+        profiles, warm_iters, cold_reps = FULL_PROFILES, 21, 3
+    report = run(profiles, warm_iters, cold_reps)
+
+    output = args.output
+    if output is None and not args.quick:
+        output = str(Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json")
+    if output:
+        Path(output).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print("report written to", output)
+
+    if args.check_baseline:
+        return check_baseline(report, Path(args.check_baseline), args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -214,6 +214,7 @@ def bench_formats(
     n_blocks: int = 1,
     parallel_model: str = "threads",
     reference: np.ndarray | None = None,
+    build_opts: dict | None = None,
 ) -> list[FormatBenchResult]:
     """Run the Eq. (4) workload over registered matrix formats.
 
@@ -223,7 +224,10 @@ def bench_formats(
     names that are valid row-block formats (``csrv``, the grammar
     variants, ``auto``) are built as a blocked matrix of that many
     blocks — the configuration the paper's multithreaded comparisons
-    use; everything else is built whole.
+    use; everything else is built whole.  ``build_opts`` is forwarded
+    to every builder (e.g. ``{"strategy": "batch"}`` to benchmark the
+    vectorised RePair output); pass options every benched format
+    accepts.
     """
     from repro import formats as format_registry
     from repro.core.blocked import BLOCK_FORMATS, BlockedMatrix
@@ -231,16 +235,21 @@ def bench_formats(
     dense = np.asarray(matrix, dtype=np.float64)
     if names is None:
         names = format_registry.available()
+    build_opts = dict(build_opts or {})
     results = []
     for name in names:
         if n_blocks > 1 and name in BLOCK_FORMATS:
-            built = BlockedMatrix.compress(dense, variant=name, n_blocks=n_blocks)
+            built = BlockedMatrix.compress(
+                dense, variant=name, n_blocks=n_blocks, **build_opts
+            )
         elif n_blocks > 1 and format_registry.get(name).cls is BlockedMatrix:
             # "blocked" itself (and any future blocked spec): its builder
             # takes n_blocks directly.
-            built = format_registry.compress(dense, format=name, n_blocks=n_blocks)
+            built = format_registry.compress(
+                dense, format=name, n_blocks=n_blocks, **build_opts
+            )
         else:
-            built = format_registry.compress(dense, format=name)
+            built = format_registry.compress(dense, format=name, **build_opts)
         result = run_iterations(
             built,
             iterations=iterations,

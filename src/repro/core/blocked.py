@@ -73,6 +73,7 @@ class BlockedMatrix(MatrixFormat):
         min_frequency: int = 2,
         max_rules: int | None = None,
         column_orders: list | None = None,
+        strategy: str = "exact",
     ) -> "BlockedMatrix":
         """Partition ``source`` into row blocks and compress each one.
 
@@ -88,6 +89,9 @@ class BlockedMatrix(MatrixFormat):
             block may be reordered with a different permutation).  Only
             valid when ``source`` is a dense array; length must equal
             the number of blocks.
+        strategy:
+            RePair formulation used for every grammar block (see
+            :func:`repro.core.repair.repair_compress`).
         """
         if variant not in BLOCK_FORMATS:
             raise MatrixFormatError(
@@ -100,7 +104,7 @@ class BlockedMatrix(MatrixFormat):
                 )
             return cls._compress_reordered(
                 np.asarray(source), variant, n_blocks, column_orders,
-                min_frequency, max_rules,
+                min_frequency, max_rules, strategy,
             )
         csrv = (
             source
@@ -108,7 +112,10 @@ class BlockedMatrix(MatrixFormat):
             else CSRVMatrix.from_dense(np.asarray(source))
         )
         parts = csrv.split_rows(n_blocks)
-        blocks = [cls._compress_block(p, variant, min_frequency, max_rules) for p in parts]
+        blocks = [
+            cls._compress_block(p, variant, min_frequency, max_rules, strategy)
+            for p in parts
+        ]
         return cls(blocks, csrv.shape)
 
     @classmethod
@@ -120,6 +127,7 @@ class BlockedMatrix(MatrixFormat):
         column_orders: list,
         min_frequency: int,
         max_rules: int | None,
+        strategy: str = "exact",
     ) -> "BlockedMatrix":
         # One global CSRV first, so every block shares the single value
         # array V and its code space (Section 4.1); the per-block
@@ -132,7 +140,8 @@ class BlockedMatrix(MatrixFormat):
             )
         blocks = [
             cls._compress_block(
-                part.with_column_order(order), variant, min_frequency, max_rules
+                part.with_column_order(order), variant, min_frequency,
+                max_rules, strategy,
             )
             for part, order in zip(parts, column_orders)
         ]
@@ -140,19 +149,29 @@ class BlockedMatrix(MatrixFormat):
 
     @staticmethod
     def _compress_block(
-        part: CSRVMatrix, variant: str, min_frequency: int, max_rules: int | None
+        part: CSRVMatrix,
+        variant: str,
+        min_frequency: int,
+        max_rules: int | None,
+        strategy: str = "exact",
     ):
         if variant == "csrv":
             return part
         if variant == "auto":
-            return BlockedMatrix._compress_block_auto(part, min_frequency, max_rules)
+            return BlockedMatrix._compress_block_auto(
+                part, min_frequency, max_rules, strategy
+            )
         return GrammarCompressedMatrix.compress(
-            part, variant=variant, min_frequency=min_frequency, max_rules=max_rules
+            part, variant=variant, min_frequency=min_frequency,
+            max_rules=max_rules, strategy=strategy,
         )
 
     @staticmethod
     def _compress_block_auto(
-        part: CSRVMatrix, min_frequency: int, max_rules: int | None
+        part: CSRVMatrix,
+        min_frequency: int,
+        max_rules: int | None,
+        strategy: str = "exact",
     ):
         """Per-block format selection (Section 4.2).
 
@@ -165,7 +184,8 @@ class BlockedMatrix(MatrixFormat):
         from repro.core.repair import repair_compress
 
         grammar = repair_compress(
-            part.s, min_frequency=min_frequency, max_rules=max_rules
+            part.s, min_frequency=min_frequency, max_rules=max_rules,
+            strategy=strategy,
         )
         best = part
         best_bytes = 4 * int(part.s.size)
@@ -239,6 +259,17 @@ class BlockedMatrix(MatrixFormat):
     def resident_overhead_bytes(self) -> int:
         """Summed working caches of the per-block representations."""
         return sum(b.resident_overhead_bytes() for b in self._blocks)
+
+    def enable_plan_retention(self, retain: bool = True) -> bool:
+        """Forward plan retention to every block; ``True`` if any took it."""
+        return any(
+            [b.enable_plan_retention(retain) for b in self._blocks]
+        )
+
+    def release_retained_plans(self) -> None:
+        """Forward plan release to every block (registry eviction path)."""
+        for b in self._blocks:
+            b.release_retained_plans()
 
     def to_dense(self) -> np.ndarray:
         """Expand all blocks back to one dense matrix (lossless)."""

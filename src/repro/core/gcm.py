@@ -23,11 +23,13 @@ All variants store ``V`` as raw 8-byte doubles, as in the paper.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.core.csrv import CSRVMatrix
 from repro.core.grammar import Grammar
-from repro.core.multiply import MvmEngine
+from repro.core.multiply import MvmEngine, MvmPlan, PlanCache
 from repro.core.repair import repair_compress
 from repro.encoders.int_vector import IntVector, bits_required
 from repro.encoders.rans import ans_compress, ans_decompress
@@ -36,6 +38,16 @@ from repro.formats.base import MatrixFormat
 
 #: The physical encodings implemented (paper Section 4).
 VARIANTS = ("re_32", "re_iv", "re_ans")
+
+#: Process-wide plan cache shared by every plan-retaining instance:
+#: structurally identical grammars (the same matrix re-registered, or
+#: evicted and reloaded by the serving registry) share one plan build.
+_PLAN_CACHE = PlanCache(max_plans=64)
+
+
+def plan_cache() -> PlanCache:
+    """The shared :class:`repro.core.multiply.PlanCache` instance."""
+    return _PLAN_CACHE
 
 
 class GrammarCompressedMatrix(MatrixFormat):
@@ -85,6 +97,8 @@ class GrammarCompressedMatrix(MatrixFormat):
         self._c_length = int(c_length)
         self._n_rules = int(n_rules)
         self._engine: MvmEngine | None = None
+        self._retain_plan = False
+        self._fingerprint: str | None = None
 
     # -- construction -------------------------------------------------------------
 
@@ -95,12 +109,15 @@ class GrammarCompressedMatrix(MatrixFormat):
         variant: str = "re_32",
         min_frequency: int = 2,
         max_rules: int | None = None,
+        strategy: str = "exact",
     ) -> "GrammarCompressedMatrix":
         """Grammar-compress a matrix (dense array or CSRV form).
 
         Runs the separator-aware RePair of Section 3 over the CSRV
         sequence ``S`` and stores the output in the requested physical
-        encoding.
+        encoding.  ``strategy`` selects the RePair formulation
+        (``"exact"`` or the vectorised ``"batch"`` — see
+        :func:`repro.core.repair.repair_compress`).
         """
         csrv = (
             source
@@ -108,7 +125,10 @@ class GrammarCompressedMatrix(MatrixFormat):
             else CSRVMatrix.from_dense(np.asarray(source))
         )
         grammar = repair_compress(
-            csrv.s, min_frequency=min_frequency, max_rules=max_rules
+            csrv.s,
+            min_frequency=min_frequency,
+            max_rules=max_rules,
+            strategy=strategy,
         )
         return cls.from_grammar(grammar, csrv.values, csrv.shape, variant)
 
@@ -225,19 +245,120 @@ class GrammarCompressedMatrix(MatrixFormat):
         """Fully expand back to a dense float64 matrix (lossless)."""
         return self.decompress().to_dense()
 
+    # -- plan retention ----------------------------------------------------------------
+
+    def grammar_fingerprint(self) -> str:
+        """Content hash of the stored grammar, computed *without decoding*.
+
+        Hashes the physical ``C``/``R`` storage bytes plus the variant,
+        ``nt_base`` and shape, so the serving path can key the shared
+        :class:`~repro.core.multiply.PlanCache` before paying any
+        decode.  Identical storage implies an identical logical grammar
+        and column count, hence an identical plan; the converse does
+        not hold across *variants* (the same grammar in ``re_iv`` and
+        ``re_ans`` hashes differently), which only costs a duplicate
+        cache entry, never a wrong plan.
+        """
+        if self._fingerprint is None:
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self._variant.encode())
+            h.update(int(self._nt_base).to_bytes(8, "little"))
+            h.update(int(self._shape[1]).to_bytes(8, "little"))
+            # The logical lengths are part of the key: bit-packed words
+            # are zero-padded, so e.g. trailing separator symbols
+            # (code 0) of a longer C can pack to the same word bytes as
+            # a shorter C — identical words do NOT imply identical
+            # grammars unless the element counts (and pack width)
+            # match too.
+            h.update(int(self._c_length).to_bytes(8, "little"))
+            h.update(int(self._n_rules).to_bytes(8, "little"))
+            if self._variant == "re_32":
+                h.update(self._c_storage.tobytes())
+                h.update(b"|")
+                h.update(self._r_storage.tobytes())
+            elif self._variant == "re_iv":
+                h.update(bytes([self._c_storage.width, self._r_storage.width]))
+                h.update(self._c_storage.words.tobytes())
+                h.update(b"|")
+                h.update(self._r_storage.words.tobytes())
+            else:  # re_ans
+                h.update(bytes([self._r_storage.width]))
+                h.update(self._c_storage)
+                h.update(b"|")
+                h.update(self._r_storage.words.tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
+
+    def enable_plan_retention(self, retain: bool = True) -> bool:
+        """Opt this block into (or out of) multiplication-plan retention.
+
+        With retention on, ``re_iv``/``re_ans`` build their
+        :class:`~repro.core.multiply.MvmPlan` once — through the shared
+        fingerprint-keyed :func:`plan_cache`, so a reloaded copy of the
+        same matrix skips even the first build — and every subsequent
+        multiplication runs without storage decode or schedule rebuild.
+        With retention off (the default), they rebuild per call,
+        charging the decode cost per multiplication exactly as the
+        paper describes.  ``re_32`` always caches its engine (its
+        storage *is* the decoded working form).  Returns ``True`` —
+        every grammar variant supports retention.
+        """
+        retain = bool(retain)
+        if retain != self._retain_plan and self._variant != "re_32":
+            self._engine = None
+        self._retain_plan = retain
+        return True
+
+    @property
+    def plan_retained(self) -> bool:
+        """Whether this block currently retains its multiplication plan."""
+        return self._retain_plan or self._variant == "re_32"
+
+    def release_retained_plans(self) -> None:
+        """Drop the cached engine and this grammar's shared-cache plan.
+
+        The serving registry calls this on eviction; the shared
+        :func:`plan_cache` entry is discarded so evicted matrices do
+        not keep plans alive outside the residency budget.  Retention
+        stays enabled — the next multiplication rebuilds (and
+        re-caches) the plan.
+        """
+        if self._variant == "re_32":
+            self._engine = None
+            return
+        self._engine = None
+        if self._retain_plan:
+            _PLAN_CACHE.discard(self.grammar_fingerprint())
+
     # -- multiplication ----------------------------------------------------------------
 
     def _get_engine(self) -> MvmEngine:
         """Return an executable schedule for this block.
 
         ``re_32`` caches the engine (its storage is already the decoded
-        working form); ``re_iv``/``re_ans`` rebuild it from a fresh
-        decode on every call, charging the decode cost per
-        multiplication exactly as the paper describes.
+        working form).  ``re_iv``/``re_ans`` rebuild it from a fresh
+        decode on every call — the paper's per-multiplication cost
+        structure — unless :meth:`enable_plan_retention` switched them
+        to the served configuration, where the plan is built once
+        (reusing the shared cache when a structurally identical grammar
+        was already planned) and kept.
         """
         if self._variant == "re_32":
             if self._engine is None:
                 self._engine = MvmEngine(self.decode_grammar(), self._shape[1])
+            return self._engine
+        if self._retain_plan:
+            if self._engine is None:
+                key = self.grammar_fingerprint()
+                plan = _PLAN_CACHE.get(key)
+                if plan is None:
+                    plan = _PLAN_CACHE.put(
+                        key,
+                        MvmPlan.from_grammar(
+                            self.decode_grammar(), self._shape[1]
+                        ),
+                    )
+                self._engine = MvmEngine.from_plan(plan)
             return self._engine
         return MvmEngine(self.decode_grammar(), self._shape[1])
 
@@ -296,9 +417,17 @@ class GrammarCompressedMatrix(MatrixFormat):
         return sum(self.size_breakdown().values())
 
     def resident_overhead_bytes(self) -> int:
-        """A served ``re_32`` block caches its multiplication engine
-        (≈ one int64 per symbol of ``C`` and six per rule);
-        ``re_iv``/``re_ans`` rebuild per call and cache nothing."""
-        if self._variant == "re_32":
+        """Live bytes a *served* instance keeps beyond its payload.
+
+        A served ``re_32`` block always caches its multiplication
+        engine (≈ one int64 per symbol of ``C`` and six per rule).
+        ``re_iv``/``re_ans`` charge the same schedule estimate once
+        :meth:`enable_plan_retention` is on — the serving registry's
+        byte budget then reflects the retained plan — and 0 otherwise
+        (rebuild per call, nothing kept).  The estimate is intentionally
+        build-independent so residency accounting does not change
+        between registration and first multiplication.
+        """
+        if self._variant == "re_32" or self._retain_plan:
             return 8 * (self._c_length + 6 * self._n_rules)
         return 0

@@ -21,6 +21,7 @@ relies on for the bit-packed ``re_iv`` encoding.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -89,6 +90,24 @@ class Grammar:
     def is_nonterminal(self, symbol: int | np.ndarray):
         """Elementwise test for nonterminal symbols."""
         return symbol >= self.nt_base
+
+    def fingerprint(self) -> str:
+        """Content hash of the *logical* grammar structure.
+
+        Two grammars share a fingerprint iff ``nt_base``, ``rules`` and
+        ``final`` are equal — used to pin reference output (the
+        hot-path bench records the exact strategy's fingerprint so
+        seed drift is detectable).  The serving plan cache is keyed by
+        the *storage-level*
+        :meth:`repro.core.gcm.GrammarCompressedMatrix.grammar_fingerprint`
+        instead, which never needs a decode.
+        """
+        h = hashlib.blake2b(digest_size=16)
+        h.update(int(self.nt_base).to_bytes(8, "little"))
+        h.update(self.rules.tobytes())
+        h.update(b"|")
+        h.update(self.final.tobytes())
+        return h.hexdigest()
 
     # -- validation ------------------------------------------------------------------
 

@@ -23,15 +23,25 @@ within the DAG is identical to the theorems' (children strictly before
 parents for right, parents strictly before children for left), so the
 computed values are exactly the same sums.
 
-:class:`MvmEngine` packages the precomputed schedule.  Building an
-engine costs ``O(|C| + |R| · depth / vector-width)`` and is cheap enough
-to be redone per multiplication, which is how the ``re_iv``/``re_ans``
-variants account for their decode overhead (see
-:mod:`repro.core.gcm`).
+:class:`MvmPlan` packages the precomputed schedule — the level slices
+plus the decomposed final string — as an immutable, grammar-independent
+value object; :class:`MvmEngine` executes a plan against the value
+array and operand vectors.  Building a plan costs
+``O(|C| + |R| · depth / vector-width)``, which is cheap enough to be
+redone per multiplication — how the ``re_iv``/``re_ans`` variants
+account for their decode overhead by default (see
+:mod:`repro.core.gcm`) — but pure waste on a serving path that
+multiplies the same matrix thousands of times.  Served matrices
+therefore opt into *plan retention*: plans are cached in a
+:class:`PlanCache` keyed by a grammar fingerprint, so repeated
+multiplications skip both the storage decode and the schedule rebuild
+(see ``BENCH_hotpaths.json`` for the cold/warm gap this buys).
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -64,6 +74,156 @@ class _LevelSlice:
     b_nt_ref: np.ndarray
 
 
+@dataclass(frozen=True)
+class MvmPlan:
+    """The reusable part of a multiplication: schedule + decomposition.
+
+    A plan is derived purely from ``(grammar, n_cols)`` and holds no
+    reference to the grammar arrays, so it can outlive the decode that
+    produced it: a served ``re_iv``/``re_ans`` block that retains its
+    plan skips both the storage decode and the schedule rebuild on
+    every multiplication after the first (see
+    :meth:`repro.core.gcm.GrammarCompressedMatrix.enable_plan_retention`
+    and :class:`PlanCache`).
+    """
+
+    n_cols: int
+    n_rows: int
+    n_rules: int
+    levels: tuple[_LevelSlice, ...]
+    c_rows_term: np.ndarray
+    c_term_l: np.ndarray
+    c_term_j: np.ndarray
+    c_rows_nt: np.ndarray
+    c_nt_ref: np.ndarray
+
+    @classmethod
+    def from_grammar(cls, grammar: Grammar, n_cols: int) -> "MvmPlan":
+        """Build the level schedule and final-string decomposition."""
+        n_cols = int(n_cols)
+        c_parts = _decompose_final(grammar, n_cols)
+        return cls(
+            n_cols=n_cols,
+            n_rows=grammar.n_rows,
+            n_rules=grammar.n_rules,
+            levels=tuple(_build_level_slices(grammar, n_cols)),
+            c_rows_term=c_parts[0],
+            c_term_l=c_parts[1],
+            c_term_j=c_parts[2],
+            c_rows_nt=c_parts[3],
+            c_nt_ref=c_parts[4],
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held live by the plan's index arrays (cache accounting)."""
+        total = (
+            self.c_rows_term.nbytes
+            + self.c_term_l.nbytes
+            + self.c_term_j.nbytes
+            + self.c_rows_nt.nbytes
+            + self.c_nt_ref.nbytes
+        )
+        for lvl in self.levels:
+            total += (
+                lvl.rule_idx.nbytes
+                + lvl.a_term_sel.nbytes
+                + lvl.a_term_l.nbytes
+                + lvl.a_term_j.nbytes
+                + lvl.a_nt_sel.nbytes
+                + lvl.a_nt_ref.nbytes
+                + lvl.b_term_sel.nbytes
+                + lvl.b_term_l.nbytes
+                + lvl.b_term_j.nbytes
+                + lvl.b_nt_sel.nbytes
+                + lvl.b_nt_ref.nbytes
+            )
+        return int(total)
+
+
+class PlanCache:
+    """A thread-safe, bounded, fingerprint-keyed cache of :class:`MvmPlan`.
+
+    Keys are grammar fingerprints (see
+    :meth:`repro.core.grammar.Grammar.fingerprint` and the storage-level
+    :meth:`repro.core.gcm.GrammarCompressedMatrix.grammar_fingerprint`),
+    so structurally identical grammars — the same matrix re-registered,
+    or one matrix evicted and reloaded by the serving registry — share
+    one plan build.  Eviction is LRU by insertion/access order, bounded
+    by entry count; byte usage is reported for the serving registry's
+    residency accounting.
+    """
+
+    def __init__(self, max_plans: int = 64):
+        if max_plans < 1:
+            raise MatrixFormatError(f"max_plans must be >= 1, got {max_plans}")
+        self._max_plans = int(max_plans)
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[str, MvmPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> MvmPlan | None:
+        """Return the cached plan for ``key`` (marking it recently used)."""
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, key: str, plan: MvmPlan) -> MvmPlan:
+        """Insert ``plan`` under ``key``, evicting LRU entries over bound."""
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self._max_plans:
+                self._plans.popitem(last=False)
+            return plan
+
+    def discard(self, key: str) -> bool:
+        """Drop the plan cached under ``key`` (``False`` if absent).
+
+        The serving registry calls this when it evicts a matrix, so a
+        rotating working set cannot accumulate up to ``max_plans``
+        orphaned plans beyond its byte budget.  Engines already built
+        from the plan keep working — they hold their own reference.
+        """
+        with self._lock:
+            return self._plans.pop(key, None) is not None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._plans
+
+    def nbytes(self) -> int:
+        """Summed :attr:`MvmPlan.nbytes` of all cached plans."""
+        with self._lock:
+            return sum(p.nbytes for p in self._plans.values())
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict:
+        """Counters for introspection/serving stats."""
+        with self._lock:
+            return {
+                "plans": len(self._plans),
+                "bytes": sum(p.nbytes for p in self._plans.values()),
+                "hits": self.hits,
+                "misses": self.misses,
+                "max_plans": self._max_plans,
+            }
+
+
 class MvmEngine:
     """Executable multiplication schedule for one grammar-compressed block.
 
@@ -73,6 +233,9 @@ class MvmEngine:
         The SLP ``(C, R)`` produced by :func:`repro.core.repair.repair_compress`.
     n_cols:
         Number of matrix columns ``m`` (needed to split pair codes).
+    plan:
+        A prebuilt :class:`MvmPlan` to execute.  When given, ``grammar``
+        may be ``None`` — the decode-skipping path of plan retention.
 
     Notes
     -----
@@ -82,19 +245,38 @@ class MvmEngine:
     (``8·q`` bytes, matching the ``O(|R|)`` space bound).
     """
 
-    def __init__(self, grammar: Grammar, n_cols: int):
-        self._n_cols = int(n_cols)
-        self._q = grammar.n_rules
-        self._n_rows = grammar.n_rows
-        self._nt_base = grammar.nt_base
-        self._levels = _build_level_slices(grammar, self._n_cols)
-        (
-            self._c_rows_term,
-            self._c_term_l,
-            self._c_term_j,
-            self._c_rows_nt,
-            self._c_nt_ref,
-        ) = _decompose_final(grammar, self._n_cols)
+    def __init__(
+        self,
+        grammar: Grammar | None,
+        n_cols: int | None = None,
+        plan: MvmPlan | None = None,
+    ):
+        if plan is None:
+            if grammar is None or n_cols is None:
+                raise MatrixFormatError(
+                    "MvmEngine needs either a grammar and n_cols, or a plan"
+                )
+            plan = MvmPlan.from_grammar(grammar, n_cols)
+        self._plan = plan
+        self._n_cols = plan.n_cols
+        self._q = plan.n_rules
+        self._n_rows = plan.n_rows
+        self._levels = plan.levels
+        self._c_rows_term = plan.c_rows_term
+        self._c_term_l = plan.c_term_l
+        self._c_term_j = plan.c_term_j
+        self._c_rows_nt = plan.c_rows_nt
+        self._c_nt_ref = plan.c_nt_ref
+
+    @classmethod
+    def from_plan(cls, plan: MvmPlan) -> "MvmEngine":
+        """Wrap a prebuilt (typically cached) plan — no grammar needed."""
+        return cls(None, plan=plan)
+
+    @property
+    def plan(self) -> MvmPlan:
+        """The immutable schedule this engine executes."""
+        return self._plan
 
     @property
     def n_rows(self) -> int:

@@ -75,11 +75,34 @@ class MatrixFormat:
 
     def resident_overhead_bytes(self) -> int:
         """Extra live bytes a *served* instance accrues beyond
-        :meth:`size_bytes` (decoded views, cached engines).  Formats
-        that cache nothing report 0; the serving registry charges
+        :meth:`size_bytes` (decoded views, cached engines, retained
+        multiplication plans).  Formats that cache nothing report 0;
+        the serving registry charges
         ``size_bytes() + resident_overhead_bytes()`` against its
         residency budget."""
         return 0
+
+    def enable_plan_retention(self, retain: bool = True) -> bool:
+        """Opt into keeping per-multiplication working state resident.
+
+        The serving registry calls this on every matrix it loads (see
+        ``MatrixRegistry(retain_plans=...)``): formats that rebuild a
+        multiplication schedule per call — the grammar variants'
+        :class:`~repro.core.multiply.MvmPlan` — switch to building it
+        once and keeping it, and start charging it through
+        :meth:`resident_overhead_bytes`.  The base implementation is a
+        no-op returning ``False`` (nothing to retain), so callers can
+        invoke it on any format unconditionally.
+        """
+        return False
+
+    def release_retained_plans(self) -> None:
+        """Free any multiplication plans this instance keeps (or shares).
+
+        Called by the serving registry when it evicts a matrix, so
+        retained plans do not outlive the residency budget that charged
+        them.  The base implementation is a no-op.
+        """
 
     # -- single-vector kernels -----------------------------------------------------
 

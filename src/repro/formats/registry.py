@@ -50,6 +50,10 @@ class FormatSpec:
         and distribute work (row blocks / column groups) over it.
     supports_threads:
         ``threads > 1`` changes execution (otherwise it is ignored).
+    supports_plan_cache:
+        ``enable_plan_retention`` changes execution: the format can keep
+        a reusable multiplication plan resident instead of rebuilding
+        per call (the grammar variants and their blocked containers).
     encode / decode:
         Payload codec: ``encode(matrix) -> bytes`` and
         ``decode(data, pos) -> (matrix, pos)``.
@@ -65,6 +69,7 @@ class FormatSpec:
     description: str = ""
     supports_executor: bool = False
     supports_threads: bool = False
+    supports_plan_cache: bool = False
     encode: Callable[[Any], bytes] | None = None
     decode: Callable[[bytes, int], tuple[Any, int]] | None = None
     peek: Callable[[bytes, int], dict] | None = None

@@ -100,6 +100,7 @@ for _variant in VARIANTS:
             kind=io.KIND_GCM,
             description=f"grammar-compressed (C, R, V), {_variant} encoding "
             "(Section 4)",
+            supports_plan_cache=True,
             encode=io.gcm_payload,
             decode=io.read_gcm,
             peek=io.peek_gcm,
@@ -115,6 +116,7 @@ register(
         description="row-block partitioned, per-block compressed (Section 4.1)",
         supports_executor=True,
         supports_threads=True,
+        supports_plan_cache=True,
         encode=io.blocked_payload,
         decode=io.read_blocked,
         peek=io.peek_blocked,
@@ -133,6 +135,7 @@ register(
         "(Section 4.2)",
         supports_executor=True,
         supports_threads=True,
+        supports_plan_cache=True,
     )
 )
 

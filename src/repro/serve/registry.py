@@ -19,8 +19,18 @@ The budget charge is :func:`resident_estimate` — ``size_bytes()``
 *plus* each format's self-reported
 :meth:`~repro.formats.MatrixFormat.resident_overhead_bytes` (a CSRV
 block caches its decoded views and a scipy CSR for the panel kernels;
-``re_32`` caches its multiplication engine), so the budget tracks what
-the process actually keeps live, not just the compressed payload.
+``re_32`` caches its multiplication engine; ``re_iv``/``re_ans``
+charge their retained :class:`~repro.core.multiply.MvmPlan` when the
+registry's plan retention is on), so the budget tracks what the
+process actually keeps live, not just the compressed payload.
+
+Plan retention (``retain_plans``, on by default) flips every loaded
+matrix into the served multiplication configuration via
+:meth:`~repro.formats.MatrixFormat.enable_plan_retention`: formats that
+would otherwise rebuild their multiplication schedule per request
+build it once and keep it, trading the extra resident bytes — which
+this registry charges — for warm-request latency (the cold/warm gap is
+tracked in ``BENCH_hotpaths.json``).
 
 All operations are thread-safe, and loads happen *outside* the
 registry-wide lock (one short-lived per-entry lock serialises
@@ -49,11 +59,20 @@ def resident_estimate(matrix) -> int:
     are charged up front.  Each format reports its own cache footprint
     (:meth:`repro.formats.MatrixFormat.resident_overhead_bytes`): a
     CSRV block's decoded views and scipy CSR panel view, a cached
-    ``re_32`` engine's gather indices; ``re_iv``/``re_ans`` rebuild
-    their engines per call and report 0.
+    ``re_32`` engine's gather indices, and — once the registry enabled
+    plan retention on them — the ``re_iv``/``re_ans`` blocks' retained
+    multiplication plans.  Call it *after*
+    ``enable_plan_retention`` so the charge covers the plan.
     """
     overhead = getattr(matrix, "resident_overhead_bytes", None)
     return int(matrix.size_bytes()) + int(overhead() if overhead else 0)
+
+
+def _release_plans(matrix) -> None:
+    """Free a matrix's retained plans on eviction (duck-typed no-op)."""
+    release = getattr(matrix, "release_retained_plans", None)
+    if release is not None:
+        release()
 
 
 @dataclass
@@ -84,12 +103,23 @@ class MatrixRegistry:
     byte_budget:
         Optional cap on the summed in-memory ``size_bytes()`` of
         resident matrices; ``None`` disables eviction.
+    retain_plans:
+        Enable multiplication-plan retention on every loaded matrix
+        (default ``True`` — the serving configuration).  The retained
+        plans are charged against ``byte_budget`` through each format's
+        ``resident_overhead_bytes``.
     """
 
-    def __init__(self, root=None, byte_budget: int | None = None):
+    def __init__(
+        self,
+        root=None,
+        byte_budget: int | None = None,
+        retain_plans: bool = True,
+    ):
         if byte_budget is not None and byte_budget < 1:
             raise ReproError(f"byte_budget must be >= 1, got {byte_budget}")
         self._budget = byte_budget
+        self._retain_plans = bool(retain_plans)
         self._lock = threading.RLock()
         #: access-ordered: least recently used first.
         self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
@@ -197,6 +227,12 @@ class MatrixRegistry:
                     return entry.matrix
                 self.misses += 1
             matrix = load_matrix(entry.path)
+            if self._retain_plans:
+                # Served matrices multiply repeatedly: switch formats
+                # that rebuild their multiplication schedule per call
+                # into build-once retention *before* estimating
+                # residency, so the budget charge includes the plan.
+                matrix.enable_plan_retention(True)
             with self._lock:
                 entry.matrix = matrix
                 entry.resident_bytes = resident_estimate(matrix)
@@ -210,6 +246,7 @@ class MatrixRegistry:
             entry = self._require(name)
             if entry.matrix is None:
                 return False
+            _release_plans(entry.matrix)
             entry.matrix = None
             entry.resident_bytes = 0
             self.evictions += 1
@@ -229,6 +266,10 @@ class MatrixRegistry:
             )
             if victim is None:
                 break  # only `keep` is resident — it always stays servable
+            # Free the victim's retained plans with it: the budget
+            # charged them, so they must not outlive the eviction in
+            # the shared plan cache.
+            _release_plans(victim.matrix)
             victim.matrix = None
             victim.resident_bytes = 0
             self.evictions += 1
@@ -239,6 +280,11 @@ class MatrixRegistry:
     def byte_budget(self) -> int | None:
         """The configured residency budget (``None`` = unlimited)."""
         return self._budget
+
+    @property
+    def retain_plans(self) -> bool:
+        """Whether loaded matrices keep their multiplication plans."""
+        return self._retain_plans
 
     @property
     def resident_bytes(self) -> int:
@@ -254,6 +300,7 @@ class MatrixRegistry:
                 "resident": sum(e.resident for e in self._entries.values()),
                 "resident_bytes": self.resident_bytes,
                 "byte_budget": self._budget,
+                "retain_plans": self._retain_plans,
                 "hits": self.hits,
                 "misses": self.misses,
                 "loads": self.loads,

@@ -157,6 +157,103 @@ class TestCompressionQuality:
         assert g.rules.max() < g.nt_base + g.n_rules
 
 
+class TestBatchStrategy:
+    """The vectorised ``strategy="batch"`` rounds (same contracts)."""
+
+    def _roundtrip(self, seq, **kwargs):
+        grammar = repair_compress(np.asarray(seq), strategy="batch", **kwargs)
+        grammar.validate()
+        assert grammar.expand().tolist() == list(seq)
+        return grammar
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(GrammarError):
+            repair_compress(np.array([1, 2, 1, 2]), strategy="heap")
+
+    def test_repeated_bigram(self):
+        g = self._roundtrip([1, 2, 1, 2, 1, 2, 1, 2])
+        assert g.n_rules >= 1
+        assert g.final.size < 8
+
+    def test_no_repeats_no_rules(self):
+        g = self._roundtrip([1, 2, 3, 4, 5])
+        assert g.n_rules == 0
+
+    def test_empty_and_single(self):
+        assert self._roundtrip([]).n_rules == 0
+        assert self._roundtrip([7]).n_rules == 0
+
+    def test_overlapping_runs(self):
+        for n in (3, 8, 9, 17):
+            self._roundtrip([1] * n)
+        self._roundtrip([1, 1, 1, 2, 2, 1, 1, 1, 1, 2, 2, 2, 1, 1])
+
+    def test_separator_never_in_rules(self):
+        g = self._roundtrip([1, 2, 0, 1, 2, 0, 1, 2, 0])
+        assert g.n_rules >= 1
+        assert 0 not in g.rules
+
+    def test_custom_forbidden_symbol(self):
+        seq = np.array([1, 9, 1, 9, 1, 9])
+        g = repair_compress(seq, forbidden=9, strategy="batch")
+        g.validate()
+        assert 9 not in g.rules
+        assert g.expand().tolist() == seq.tolist()
+
+    def test_max_rules_cap(self):
+        rng = np.random.default_rng(1)
+        seq = rng.integers(1, 4, size=500)
+        g = repair_compress(seq, max_rules=3, strategy="batch")
+        g.validate()
+        assert g.n_rules == 3
+        assert g.expand().tolist() == seq.tolist()
+
+    def test_min_frequency_threshold(self):
+        seq = np.array([1, 2, 1, 2])
+        assert repair_compress(seq, min_frequency=3, strategy="batch").n_rules == 0
+        assert repair_compress(seq, min_frequency=2, strategy="batch").n_rules == 1
+
+    def test_deterministic(self):
+        seq = np.random.default_rng(0).integers(1, 6, size=300)
+        g1 = repair_compress(seq, strategy="batch")
+        g2 = repair_compress(seq, strategy="batch")
+        assert np.array_equal(g1.rules, g2.rules)
+        assert np.array_equal(g1.final, g2.final)
+
+    def test_most_frequent_pair_first(self):
+        g = repair_compress(
+            np.array([1, 2, 3, 4, 1, 2, 3, 4, 1, 2]), strategy="batch"
+        )
+        assert g.rules[0].tolist() == [1, 2]
+
+    def test_input_not_mutated(self):
+        seq = np.array([1, 2, 1, 2, 1, 2], dtype=np.int64)
+        copy = seq.copy()
+        repair_compress(seq, strategy="batch")
+        assert np.array_equal(seq, copy)
+
+    def test_oversized_symbol_ids_rejected(self):
+        # a*stride + b would overflow int64 for symbol ids >= ~3e9;
+        # batch refuses instead of silently merging distinct pairs.
+        huge = 4_000_000_000
+        seq = np.array([huge, 1, huge, 1], dtype=np.int64)
+        with pytest.raises(GrammarError, match="batch"):
+            repair_compress(seq, strategy="batch")
+        # The exact strategy still handles the same input.
+        g = repair_compress(seq)
+        assert g.expand().tolist() == seq.tolist()
+
+    def test_size_close_to_exact_on_structured_input(self, structured_matrix):
+        csrv = CSRVMatrix.from_dense(structured_matrix)
+        exact = repair_compress(csrv.s)
+        batch = repair_compress(csrv.s, strategy="batch")
+        assert np.array_equal(batch.expand(), csrv.s)
+        assert batch.n_rows == structured_matrix.shape[0]
+        # Same ballpark grammar (the profile-level 2% ratio bound is
+        # asserted in tests/formats/test_strategy_equivalence.py).
+        assert batch.size <= 1.15 * exact.size
+
+
 @settings(max_examples=80, deadline=None)
 @given(
     seq=st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=120)
@@ -166,6 +263,31 @@ def test_property_lossless(seq):
     grammar.validate()
     assert grammar.expand().tolist() == seq
     assert 0 not in grammar.rules
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    seq=st.lists(st.integers(min_value=0, max_value=6), min_size=0, max_size=120)
+)
+def test_property_lossless_batch(seq):
+    grammar = repair_compress(np.asarray(seq, dtype=np.int64), strategy="batch")
+    grammar.validate()
+    assert grammar.expand().tolist() == seq
+    assert 0 not in grammar.rules
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seq=st.lists(st.integers(min_value=1, max_value=3), min_size=10, max_size=200),
+    cap=st.integers(min_value=0, max_value=10),
+)
+def test_property_max_rules_respected_batch(seq, cap):
+    grammar = repair_compress(
+        np.asarray(seq, dtype=np.int64), max_rules=cap, strategy="batch"
+    )
+    grammar.validate()
+    assert grammar.n_rules <= cap
+    assert grammar.expand().tolist() == seq
 
 
 @settings(max_examples=30, deadline=None)
