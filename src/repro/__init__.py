@@ -49,6 +49,9 @@ Package map
   registered formats via :func:`repro.bench.bench_formats`) and the
   memory model;
 - :mod:`repro.io` — lossless serialization for every registered format;
+- :mod:`repro.shard` — row-sharded compression: per-shard format
+  selection by density profile, scatter-gather multiply, and lazy
+  shard-by-shard serving;
 - :mod:`repro.serve` — the serving engine: matrix registry, batched
   panel multiplication, real parallel executor, and the HTTP API
   behind ``python -m repro serve``.
@@ -71,6 +74,13 @@ from repro.errors import ReproError
 from repro.formats import MatrixFormat, compress
 from repro.io import load_matrix, save_matrix
 from repro.reorder import compress_with_reordering, reorder_columns
+from repro.shard import (
+    LazyShardedMatrix,
+    ShardedMatrix,
+    ShardPlan,
+    build_sharded,
+    plan_shards,
+)
 
 __version__ = "1.1.0"
 
@@ -92,6 +102,11 @@ __all__ = [
     "CLAMatrix",
     "reorder_columns",
     "compress_with_reordering",
+    "ShardedMatrix",
+    "LazyShardedMatrix",
+    "ShardPlan",
+    "plan_shards",
+    "build_sharded",
     "get_dataset",
     "list_datasets",
     "run_iterations",

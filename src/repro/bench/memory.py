@@ -46,6 +46,7 @@ from repro.cla.matrix import CLAMatrix
 from repro.core.blocked import BlockedMatrix
 from repro.core.csrv import CSRVMatrix
 from repro.core.gcm import GrammarCompressedMatrix
+from repro.shard.matrix import _ShardFanout
 
 
 def representation_bytes(matrix) -> int:
@@ -96,6 +97,21 @@ def peak_mvm_bytes(matrix, threads: int = 1) -> int:
         )
         active = min(max(1, threads), len(working))
         return resident + int(np.sum(working[:active])) + vectors
+    if isinstance(matrix, _ShardFanout):
+        # Each shard is a complete representation: its transient is its
+        # own modelled peak minus its resident bytes and vector share;
+        # up to ``threads`` shard transients are simultaneously live.
+        transients = []
+        for shard in matrix.shards:
+            sn, sm = shard.shape
+            transient = (
+                peak_mvm_bytes(shard, threads=1)
+                - representation_bytes(shard)
+                - 8 * (sn + 2 * sm)
+            )
+            transients.append(max(0, transient))
+        active = min(max(1, threads), len(transients))
+        return resident + int(np.sum(sorted(transients, reverse=True)[:active])) + vectors
     raise TypeError(f"no memory model for {type(matrix).__name__}")
 
 

@@ -18,6 +18,11 @@ Commands
     compressed file and print/save the result.  ``--workers N`` runs
     the row blocks of a blocked matrix on a real
     :class:`repro.serve.executor.BlockExecutor` pool.
+``shard IN.npy OUT.gcmx``
+    Split a dense matrix into row shards, compress each shard
+    independently (``--format`` for one format everywhere, default
+    per-shard selection by density profile), and write one sharded
+    container file.  ``--workers N`` compresses shards in parallel.
 ``bench NAME``
     Run the Eq. (4) workload on one synthetic dataset and report
     size/time/peak-memory for every representation.  ``--workers N``
@@ -43,6 +48,7 @@ from repro.bench.memory import peak_mvm_pct
 from repro.bench.reporting import format_table, ratio_pct
 from repro.core.blocked import BLOCK_FORMATS
 from repro.datasets import PROFILES, get_dataset, list_datasets
+from repro.errors import ReproError
 from repro.io.serialize import load_matrix, save_matrix
 from repro.reorder.pipeline import compress_with_reordering
 
@@ -134,6 +140,48 @@ def _cmd_compress(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    from repro.serve.executor import BlockExecutor
+    from repro.shard import build_sharded, plan_shards
+
+    matrix = np.load(args.input)
+    try:
+        plan = plan_shards(
+            matrix,
+            n_shards=args.shards,
+            target_rows=args.target_rows,
+            target_bytes=args.target_bytes,
+            format=args.format,
+        )
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.workers > 1:
+        with BlockExecutor(args.workers) as executor:
+            sharded = build_sharded(matrix, plan=plan, executor=executor)
+    else:
+        sharded = build_sharded(matrix, plan=plan)
+    save_matrix(sharded, args.output)
+    rows = [
+        [d["shard"], d["rows"], d["format"], f"{d['density']:.1%}",
+         f"{sharded.shards[d['shard']].size_bytes():,}"]
+        for d in plan.describe()
+    ]
+    print(
+        format_table(
+            ["shard", "rows", "format", "density", "bytes"],
+            rows,
+            title=f"{args.input} -> {args.output} ({plan.n_shards} shards)",
+        )
+    )
+    dense = matrix.size * 8
+    print(
+        f"total: {sharded.size_bytes():,} bytes "
+        f"({ratio_pct(sharded.size_bytes(), dense):.2f}% of dense)"
+    )
+    return 0
+
+
 def _cmd_info(args) -> int:
     matrix = load_matrix(args.file)
     n, m = matrix.shape
@@ -143,11 +191,16 @@ def _cmd_info(args) -> int:
     print(f"shape   : {n} x {m}")
     print(f"bytes   : {matrix.size_bytes():,} "
           f"({ratio_pct(matrix.size_bytes(), 8 * n * m):.2f}% of dense)")
+    if hasattr(matrix, "shard_formats"):
+        kinds: dict[str, int] = {}
+        for label in matrix.shard_formats:
+            kinds[label] = kinds.get(label, 0) + 1
+        print(f"shards  : {matrix.n_shards} ({kinds})")
     if hasattr(matrix, "variant"):
         print(f"variant : {matrix.variant}")
         print(f"|C|     : {matrix.c_length:,}")
         print(f"|R|     : {matrix.n_rules:,}")
-    if hasattr(matrix, "blocks"):
+    if hasattr(matrix, "blocks") and not hasattr(matrix, "shard_formats"):
         kinds: dict[str, int] = {}
         for b in matrix.blocks:
             label = getattr(b, "variant", "csrv")
@@ -246,13 +299,12 @@ def _cmd_serve(args) -> int:
     budget = (
         int(args.budget_mb * 1024 * 1024) if args.budget_mb is not None else None
     )
-    from repro.errors import ReproError
-
     try:
         registry = MatrixRegistry(
             root=args.root,
             byte_budget=budget,
             retain_plans=not args.no_plan_cache,
+            lazy_shards=not args.eager_shards,
         )
     except ReproError as exc:
         print(str(exc), file=sys.stderr)
@@ -310,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_compress)
 
+    p = sub.add_parser(
+        "shard", help="row-shard a dense .npy into a sharded container"
+    )
+    p.add_argument("input")
+    p.add_argument("output")
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--shards", type=int, default=None, help="explicit shard count"
+    )
+    group.add_argument(
+        "--target-rows", type=int, default=None, help="rows per shard"
+    )
+    group.add_argument(
+        "--target-bytes", type=int, default=None,
+        help="dense bytes per shard (rows are sized to fit)",
+    )
+    p.add_argument(
+        "--format", default=None, choices=formats.available(),
+        help="one format for every shard (default: per-shard selection "
+        "by density profile)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="compress shards in parallel on an executor pool",
+    )
+    p.set_defaults(fn=_cmd_shard)
+
     p = sub.add_parser("info", help="describe a compressed file")
     p.add_argument("file")
     p.set_defaults(fn=_cmd_info)
@@ -365,6 +444,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable multiplication-plan retention (served re_iv/re_ans "
         "then re-decode and re-plan on every request, as the paper's "
         "cost model does)",
+    )
+    p.add_argument(
+        "--eager-shards", action="store_true",
+        help="materialise sharded containers whole at load time instead "
+        "of streaming shards on demand under the byte budget",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -36,5 +36,32 @@ class SerializationError(ReproError):
     unsupported version tag."""
 
 
+class UnknownKindError(SerializationError):
+    """A GCMX blob carries a kind byte no registered format owns.
+
+    The offending byte is kept on :attr:`kind` so callers (and error
+    messages) can report exactly what was read instead of a generic
+    decode failure.
+    """
+
+    def __init__(self, kind: int, message: str | None = None):
+        super().__init__(message or f"unknown kind tag {kind}")
+        self.kind = int(kind)
+
+
+class TruncatedPayloadError(SerializationError):
+    """A GCMX payload ended early or failed to decode as its kind.
+
+    Raised instead of the bare ``struct.error`` / ``IndexError`` /
+    ``ValueError`` the low-level decoders produce on short or corrupt
+    input; :attr:`kind` records the kind byte of the payload being
+    decoded (``None`` when the failure precedes the header).
+    """
+
+    def __init__(self, message: str, kind: int | None = None):
+        super().__init__(message)
+        self.kind = kind
+
+
 class PlanningError(ReproError):
     """The CLA compression planner could not produce a valid plan."""

@@ -82,6 +82,17 @@ class MatrixFormat:
         residency budget."""
         return 0
 
+    def resident_footprint_bytes(self) -> int:
+        """Live bytes a served instance occupies *right now*.
+
+        For fully materialised formats this is simply
+        ``size_bytes() + resident_overhead_bytes()``.  Partially
+        resident containers (:class:`repro.shard.LazyShardedMatrix`)
+        override it to report only their loaded window — the serving
+        registry charges this value against its byte budget.
+        """
+        return int(self.size_bytes()) + int(self.resident_overhead_bytes())
+
     def enable_plan_retention(self, retain: bool = True) -> bool:
         """Opt into keeping per-multiplication working state resident.
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import MatrixFormatError, SerializationError
+from repro.errors import MatrixFormatError, UnknownKindError
 
 
 @dataclass(frozen=True)
@@ -150,7 +150,11 @@ def by_kind(kind: int) -> FormatSpec:
     _ensure_builtin()
     spec = _BY_KIND.get(kind)
     if spec is None:
-        raise SerializationError(f"unknown kind tag {kind}")
+        raise UnknownKindError(
+            kind,
+            f"unknown kind tag {kind}; registered kinds: "
+            f"{sorted(_BY_KIND)}",
+        )
     return spec
 
 

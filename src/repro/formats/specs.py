@@ -21,6 +21,7 @@ from repro.core.csrv import CSRVMatrix
 from repro.core.gcm import VARIANTS, GrammarCompressedMatrix
 from repro.formats.registry import FormatSpec, register
 from repro.io import serialize as io
+from repro.shard.matrix import ShardedMatrix, build_sharded
 
 
 def _gcm_builder(variant: str):
@@ -152,6 +153,23 @@ register(
         encode=io.cla_payload,
         decode=io.read_cla,
         peek=io.peek_cla,
+    )
+)
+
+register(
+    FormatSpec(
+        name="sharded",
+        cls=ShardedMatrix,
+        build=build_sharded,
+        kind=io.KIND_SHARDED,
+        description="row-sharded container, per-shard format by density "
+        "profile, scatter-gather MVM",
+        supports_executor=True,
+        supports_threads=True,
+        supports_plan_cache=True,
+        encode=io.sharded_payload,
+        decode=io.read_sharded,
+        peek=io.peek_sharded,
     )
 )
 

@@ -26,6 +26,9 @@ Section 4.1.
 
 from __future__ import annotations
 
+import contextlib
+import struct
+
 import numpy as np
 
 from repro.core.blocked import BlockedMatrix
@@ -33,7 +36,12 @@ from repro.core.csrv import CSRVMatrix
 from repro.core.gcm import GrammarCompressedMatrix
 from repro.encoders.int_vector import IntVector
 from repro.encoders.varint import decode_uvarint, encode_uvarint
-from repro.errors import MatrixFormatError, SerializationError
+from repro.errors import (
+    EncodingError,
+    MatrixFormatError,
+    SerializationError,
+    TruncatedPayloadError,
+)
 
 _MAGIC = b"GCMX"
 _VERSION = 1
@@ -50,12 +58,44 @@ KIND_CSR_IV = 5
 KIND_CLA = 6
 KIND_GZIP = 7
 KIND_XZ = 8
+KIND_SHARDED = 9
 
 _VARIANT_TAGS = {"re_32": 0, "re_iv": 1, "re_ans": 2}
 _TAG_VARIANTS = {v: k for k, v in _VARIANT_TAGS.items()}
 
 #: CLA group-format tags inside a KIND_CLA payload.
 _CLA_GROUP_TAGS = {"OLE": 0, "RLE": 1, "DDC": 2, "UC": 3}
+
+
+#: Exceptions the low-level decoders leak on short or corrupt input.
+#: Anything in this tuple escaping :func:`loads_matrix` or
+#: :func:`peek_matrix_info` would be a bare stdlib/numpy error with no
+#: indication of *which* payload failed, so the public entry points
+#: convert them to :class:`~repro.errors.TruncatedPayloadError` tagged
+#: with the kind byte being decoded.
+_BARE_DECODE_ERRORS = (
+    IndexError,
+    KeyError,
+    ValueError,
+    ZeroDivisionError,
+    OverflowError,
+    struct.error,
+)
+
+
+@contextlib.contextmanager
+def _payload_guard(kind: int, action: str):
+    """Re-raise payload decode failures as typed serialization errors."""
+    try:
+        yield
+    except SerializationError:
+        raise
+    except (EncodingError, *_BARE_DECODE_ERRORS) as exc:
+        raise TruncatedPayloadError(
+            f"cannot {action} kind-{kind} payload "
+            f"(truncated or corrupt): {type(exc).__name__}: {exc}",
+            kind=kind,
+        ) from exc
 
 
 # -- public API ---------------------------------------------------------------------
@@ -88,7 +128,8 @@ def loads_matrix(data: bytes):
         raise SerializationError(
             f"format {spec.name!r} has no serialization codec"
         )
-    matrix, _ = spec.decode(data, pos)
+    with _payload_guard(kind, f"decode {spec.name!r}"):
+        matrix, _ = spec.decode(data, pos)
     return matrix
 
 
@@ -126,7 +167,8 @@ def peek_matrix_info(data: bytes) -> dict:
     spec = formats.by_kind(kind)
     if spec.peek is None:
         raise SerializationError(f"format {spec.name!r} has no header peek")
-    return spec.peek(data, pos)
+    with _payload_guard(kind, f"peek {spec.name!r}"):
+        return spec.peek(data, pos)
 
 
 def read_matrix_info(path) -> dict:
@@ -557,6 +599,126 @@ def peek_cla(data: bytes, pos: int) -> dict:
     shape, pos = _get_shape(data, pos)
     n_groups, _ = decode_uvarint(data, pos)
     return {"kind": "cla", "shape": shape, "n_groups": n_groups}
+
+
+# -- sharded ---------------------------------------------------------------------------
+#
+# A sharded container is a multi-section file: after the usual GCMX
+# header, a small manifest (shape, shard count, and a per-shard table
+# of row counts and section byte lengths) is followed by one complete
+# nested GCMX blob per shard.  The manifest alone locates every
+# section, so the serving layer can seek-and-load shards individually
+# (:class:`repro.shard.LazyShardedMatrix`) while :func:`loads_matrix`
+# still materialises the whole logical matrix.
+
+
+class ShardManifestEntry:
+    """One shard section: its row range and byte range in the file."""
+
+    __slots__ = ("index", "row_start", "n_rows", "offset", "length")
+
+    def __init__(self, index: int, row_start: int, n_rows: int,
+                 offset: int, length: int):
+        self.index = index
+        self.row_start = row_start
+        self.n_rows = n_rows
+        self.offset = offset
+        self.length = length
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardManifestEntry(index={self.index}, "
+            f"rows={self.row_start}..{self.row_start + self.n_rows}, "
+            f"offset={self.offset}, length={self.length})"
+        )
+
+
+def sharded_payload(matrix) -> bytes:
+    """Manifest + one nested GCMX blob per shard."""
+    shards = matrix.shards
+    blobs = [saves_matrix(s) for s in shards]
+    out = bytearray()
+    out += _put_shape(matrix.shape)
+    out += encode_uvarint(len(blobs))
+    for shard, blob in zip(shards, blobs):
+        out += encode_uvarint(int(shard.shape[0]))
+        out += encode_uvarint(len(blob))
+    for blob in blobs:
+        out += blob
+    return bytes(out)
+
+
+def _read_shard_table(data: bytes, pos: int):
+    """Parse the manifest: ``(shape, entries, first_section_pos)``."""
+    shape, pos = _get_shape(data, pos)
+    n_shards, pos = decode_uvarint(data, pos)
+    if n_shards < 1:
+        raise SerializationError("sharded payload has no shards")
+    rows_and_lengths = []
+    for _ in range(n_shards):
+        n_rows, pos = decode_uvarint(data, pos)
+        length, pos = decode_uvarint(data, pos)
+        rows_and_lengths.append((n_rows, length))
+    entries, row_start, offset = [], 0, pos
+    for i, (n_rows, length) in enumerate(rows_and_lengths):
+        entries.append(ShardManifestEntry(i, row_start, n_rows, offset, length))
+        row_start += n_rows
+        offset += length
+    if row_start != shape[0]:
+        raise SerializationError(
+            f"shard manifest covers {row_start} rows for shape {shape}"
+        )
+    return shape, entries, pos
+
+
+def read_sharded(data: bytes, pos: int):
+    from repro.shard.matrix import ShardedMatrix
+
+    shape, entries, _ = _read_shard_table(data, pos)
+    shards = []
+    for entry in entries:
+        if entry.offset + entry.length > len(data):
+            raise SerializationError(
+                f"truncated shard section {entry.index}"
+            )
+        shards.append(
+            loads_matrix(data[entry.offset : entry.offset + entry.length])
+        )
+    last = entries[-1]
+    return ShardedMatrix(shards, shape), last.offset + last.length
+
+
+def peek_sharded(data: bytes, pos: int) -> dict:
+    shape, pos = _get_shape(data, pos)
+    n_shards, _ = decode_uvarint(data, pos)
+    return {"kind": "sharded", "shape": shape, "n_shards": n_shards}
+
+
+def read_shard_manifest(path):
+    """``(shape, [ShardManifestEntry, ...])`` from a sharded container file.
+
+    Reads only the manifest region — shard sections are not touched —
+    so opening a large container for lazy serving costs a few hundred
+    bytes of IO.  Entry offsets are absolute file offsets.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(PEEK_PREFIX_BYTES)
+        kind, payload_pos = _read_header(head)
+        if kind != KIND_SHARDED:
+            raise SerializationError(
+                f"{path} is not a sharded container (kind tag {kind})"
+            )
+        with _payload_guard(KIND_SHARDED, "read shard manifest of"):
+            _shape, pos = _get_shape(head, payload_pos)
+            n_shards, pos = decode_uvarint(head, pos)
+            # Refill enough for the table: 2 varints (≤ 10 bytes each)
+            # per shard.
+            needed = pos + 20 * n_shards
+            if needed > len(head):
+                head += fh.read(needed - len(head))
+    with _payload_guard(KIND_SHARDED, "read shard manifest of"):
+        shape, entries, _ = _read_shard_table(head, payload_pos)
+    return shape, entries
 
 
 # -- gzip / xz -------------------------------------------------------------------------

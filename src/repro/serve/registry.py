@@ -64,6 +64,9 @@ def resident_estimate(matrix) -> int:
     multiplication plans.  Call it *after*
     ``enable_plan_retention`` so the charge covers the plan.
     """
+    footprint = getattr(matrix, "resident_footprint_bytes", None)
+    if footprint is not None:
+        return int(footprint())
     overhead = getattr(matrix, "resident_overhead_bytes", None)
     return int(matrix.size_bytes()) + int(overhead() if overhead else 0)
 
@@ -108,6 +111,14 @@ class MatrixRegistry:
         (default ``True`` — the serving configuration).  The retained
         plans are charged against ``byte_budget`` through each format's
         ``resident_overhead_bytes``.
+    lazy_shards:
+        Serve ``"sharded"`` container files through
+        :class:`repro.shard.LazyShardedMatrix` (default ``True``):
+        only the shard manifest is read at load time, shard payloads
+        stream in on demand, and the matrix keeps its own loaded set
+        within this registry's ``byte_budget`` by evicting cold
+        *shards* after every multiplication.  ``False`` materialises
+        sharded entries whole, like any other format.
     """
 
     def __init__(
@@ -115,11 +126,13 @@ class MatrixRegistry:
         root=None,
         byte_budget: int | None = None,
         retain_plans: bool = True,
+        lazy_shards: bool = True,
     ):
         if byte_budget is not None and byte_budget < 1:
             raise ReproError(f"byte_budget must be >= 1, got {byte_budget}")
         self._budget = byte_budget
         self._retain_plans = bool(retain_plans)
+        self._lazy_shards = bool(lazy_shards)
         self._lock = threading.RLock()
         #: access-ordered: least recently used first.
         self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
@@ -127,6 +140,10 @@ class MatrixRegistry:
         self.misses = 0
         self.loads = 0
         self.evictions = 0
+        # Shard counters of lazy sharded matrices that were since
+        # whole-evicted — folded in here so /stats never goes backwards.
+        self._shard_loads_absorbed = 0
+        self._shard_evictions_absorbed = 0
         if root is not None:
             self.scan(root)
 
@@ -187,7 +204,13 @@ class MatrixRegistry:
             out["format"] = format_of_info(entry.info)
             out["resident"] = entry.resident
             if entry.resident:
+                self._refresh_residency(entry)
                 out["resident_bytes"] = entry.resident_bytes
+                resident_shards = getattr(
+                    entry.matrix, "resident_shards", None
+                )
+                if resident_shards is not None:
+                    out["resident_shards"] = resident_shards
             return out
 
     def entries(self) -> list[dict]:
@@ -226,7 +249,7 @@ class MatrixRegistry:
                     self.hits += 1
                     return entry.matrix
                 self.misses += 1
-            matrix = load_matrix(entry.path)
+            matrix = self._load_entry(entry)
             if self._retain_plans:
                 # Served matrices multiply repeatedly: switch formats
                 # that rebuild their multiplication schedule per call
@@ -240,22 +263,64 @@ class MatrixRegistry:
                 self._evict_over_budget(keep=name)
             return matrix
 
+    def _load_entry(self, entry: RegistryEntry):
+        """Deserialize one entry — lazily for sharded containers."""
+        if self._lazy_shards and entry.info.get("kind") == "sharded":
+            from repro.shard.matrix import LazyShardedMatrix
+
+            return LazyShardedMatrix(
+                entry.path, shard_byte_budget=self._budget
+            )
+        return load_matrix(entry.path)
+
+    def _refresh_residency(self, entry: RegistryEntry) -> None:
+        """Re-poll entries whose footprint moves between requests
+        (lazy sharded matrices load/evict shards during multiplies)."""
+        if entry.matrix is not None and getattr(
+            entry.matrix, "dynamic_residency", False
+        ):
+            entry.resident_bytes = resident_estimate(entry.matrix)
+
+    def _absorb_shard_counters(self, matrix) -> None:
+        """Keep a whole-evicted lazy matrix's shard counters in /stats."""
+        if hasattr(matrix, "shard_loads"):
+            self._shard_loads_absorbed += matrix.shard_loads
+            self._shard_evictions_absorbed += matrix.shard_evictions
+
     def evict(self, name: str) -> bool:
         """Drop ``name``'s resident matrix (keeps the registration)."""
         with self._lock:
             entry = self._require(name)
             if entry.matrix is None:
                 return False
+            self._absorb_shard_counters(entry.matrix)
             _release_plans(entry.matrix)
             entry.matrix = None
             entry.resident_bytes = 0
             self.evictions += 1
             return True
 
-    def _evict_over_budget(self, keep: str) -> None:
+    def enforce_budget(self, keep: str | None = None) -> int:
+        """Re-apply the byte budget to the *current* residency.
+
+        Lazy sharded entries grow their footprint during multiplies
+        (shards stream in after the load-time budget check), so the
+        serving layer calls this after answering a request: residency
+        is re-polled and least-recently-used residents — other than
+        ``keep`` — are whole-evicted until the budget holds again.
+        Returns the number of evictions performed.
+        """
+        with self._lock:
+            before = self.evictions
+            self._evict_over_budget(keep=keep)
+            return self.evictions - before
+
+    def _evict_over_budget(self, keep: str | None) -> None:
         if self._budget is None:
             return
         while self.resident_bytes > self._budget:
+            # resident_bytes refreshed dynamic entries above, so lazy
+            # sharded matrices are charged for their loaded window only.
             victim = next(
                 (
                     e
@@ -269,6 +334,7 @@ class MatrixRegistry:
             # Free the victim's retained plans with it: the budget
             # charged them, so they must not outlive the eviction in
             # the shared plan cache.
+            self._absorb_shard_counters(victim.matrix)
             _release_plans(victim.matrix)
             victim.matrix = None
             victim.resident_bytes = 0
@@ -288,19 +354,39 @@ class MatrixRegistry:
 
     @property
     def resident_bytes(self) -> int:
-        """Summed ``size_bytes()`` of currently resident matrices."""
+        """Summed live footprint of currently resident matrices.
+
+        Entries with a moving footprint (lazy sharded containers) are
+        re-polled, so the figure follows their loaded shard window.
+        """
         with self._lock:
+            for entry in self._entries.values():
+                self._refresh_residency(entry)
             return sum(e.resident_bytes for e in self._entries.values())
 
     def stats(self) -> dict:
         """Counters for ``/stats``: hits, misses, loads, evictions, residency."""
         with self._lock:
+            shard_loads = self._shard_loads_absorbed
+            shard_evictions = self._shard_evictions_absorbed
+            resident_shards = 0
+            for entry in self._entries.values():
+                if entry.matrix is not None and hasattr(
+                    entry.matrix, "shard_loads"
+                ):
+                    shard_loads += entry.matrix.shard_loads
+                    shard_evictions += entry.matrix.shard_evictions
+                    resident_shards += entry.matrix.resident_shards
             return {
                 "matrices": len(self._entries),
                 "resident": sum(e.resident for e in self._entries.values()),
                 "resident_bytes": self.resident_bytes,
                 "byte_budget": self._budget,
                 "retain_plans": self._retain_plans,
+                "lazy_shards": self._lazy_shards,
+                "resident_shards": resident_shards,
+                "shard_loads": shard_loads,
+                "shard_evictions": shard_evictions,
                 "hits": self.hits,
                 "misses": self.misses,
                 "loads": self.loads,

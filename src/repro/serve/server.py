@@ -17,10 +17,20 @@ is ``http.server`` + ``json``):
     ``n_cols``) or ``left`` (``xᵗ = yᵗM``, length ``n_rows``).
     Response ``result[i]`` is the product for ``vectors[i]``.
 ``GET /stats``
-    Registry counters (hits/loads/evictions/residency) and per-matrix
-    request counts with latency percentiles.
+    Registry counters (hits/loads/evictions/residency — including
+    ``shard_loads`` / ``shard_evictions`` / ``resident_shards`` for
+    sharded containers served shard-by-shard) and per-matrix request
+    counts with latency percentiles.
 ``GET /healthz``
     Liveness probe.
+
+Sharded containers (``repro shard``, kind tag 9) are served lazily:
+the registry materialises only the shard manifest at load time, shard
+payloads stream in on the first multiplication that needs them, and
+after each request cold *shards* are evicted back to disk until the
+loaded window fits the registry's byte budget — listing
+(``/matrices``) reports ``n_shards`` and, once resident,
+``resident_shards`` per entry.
 
 Requests are handled on one thread each (``ThreadingHTTPServer``);
 block-level parallelism inside a single multiplication additionally
@@ -210,6 +220,10 @@ class MatrixServer:
             raise _RequestError(400, f"bad vectors: {exc}") from exc
         seconds = perf_counter() - start
         self.stats.record(name, seconds)
+        # Lazy sharded matrices stream shards in during the multiply,
+        # growing residency past the load-time check — re-apply the
+        # budget now (the matrix just served stays resident).
+        self.registry.enforce_budget(keep=name)
         return {
             "matrix": name,
             "format": getattr(matrix, "format_name", None),

@@ -1,0 +1,29 @@
+"""repro.shard — row-sharded compression and scatter-gather serving.
+
+Splits a dense matrix into contiguous row shards, compresses each shard
+independently through the format registry (mixing formats per shard by
+density profile), and serves the logical matrix through scatter-gather
+multiplication.  The serving registry loads sharded container files
+shard-by-shard and evicts cold *shards* — not whole matrices — under
+its byte budget.
+"""
+
+from repro.shard.matrix import LazyShardedMatrix, ShardedMatrix, build_sharded
+from repro.shard.plan import (
+    ShardPlan,
+    ShardSpec,
+    plan_shards,
+    profile_slice,
+    select_format,
+)
+
+__all__ = [
+    "ShardedMatrix",
+    "LazyShardedMatrix",
+    "build_sharded",
+    "ShardPlan",
+    "ShardSpec",
+    "plan_shards",
+    "profile_slice",
+    "select_format",
+]

@@ -1,0 +1,491 @@
+"""Row-sharded matrices: independent per-shard compression, scatter-gather MVM.
+
+Two representations share the scatter-gather kernels:
+
+:class:`ShardedMatrix`
+    The in-memory form — a list of fully materialised per-shard
+    representations (any registered format, mixed freely).  Registered
+    with the format registry as ``"sharded"``, so it serializes,
+    serves, benches, and conformance-tests like every other format.
+
+:class:`LazyShardedMatrix`
+    The serving form — holds only the container file's shard manifest
+    and loads shard payloads on demand.  Each shard is an LRU entry
+    under an optional ``shard_byte_budget``: after every
+    multiplication the coldest shards are dropped back to disk until
+    the loaded set fits, so the serving registry evicts *shards*, not
+    whole matrices.
+
+Multiplication is scatter-gather over the row partition, exactly like
+the paper's Section 4.1 row blocks, but each shard is a first-class
+format instance: right multiplication fans the operand out to every
+shard and concatenates the per-shard results; left multiplication
+slices the operand by shard row range and sums the per-shard row
+vectors.  ``threads``/``executor`` distribute the per-shard work over
+a pool (:class:`repro.serve.executor.BlockExecutor` compatible).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import MatrixFormatError
+from repro.formats.base import MatrixFormat
+from repro.shard.plan import ShardPlan, plan_shards
+
+
+def _offsets_of(row_counts) -> np.ndarray:
+    offsets = np.zeros(len(row_counts) + 1, dtype=np.int64)
+    np.cumsum(list(row_counts), out=offsets[1:])
+    return offsets
+
+
+class _ShardFanout(MatrixFormat):
+    """Shared scatter-gather kernels over a contiguous row partition.
+
+    Subclasses provide ``_shard(i)`` (one shard, possibly loading it)
+    and ``_all_shards()`` (every shard, in row order); ``_offsets`` is
+    the ``n_shards + 1`` row-offset array.
+    """
+
+    format_name = "sharded"
+
+    _offsets: np.ndarray
+    _shape: tuple[int, int]
+
+    # -- partition accessors -------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self._shape
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._offsets) - 1
+
+    @property
+    def row_offsets(self) -> np.ndarray:
+        """Shard ``i`` covers rows ``row_offsets[i]:row_offsets[i+1]``."""
+        view = self._offsets.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def shards(self) -> list:
+        """Every shard representation, in row order."""
+        return self._all_shards()
+
+    #: Alias so block-aware executors (``BlockExecutor``'s panel paths)
+    #: treat a sharded matrix exactly like a row-blocked one.
+    @property
+    def blocks(self) -> list:
+        return self._all_shards()
+
+    def _shard(self, i: int):
+        raise NotImplementedError
+
+    def _all_shards(self) -> list:
+        raise NotImplementedError
+
+    def to_dense(self) -> np.ndarray:
+        return np.vstack([s.to_dense() for s in self._all_shards()])
+
+    # -- scatter-gather kernels -----------------------------------------------------
+
+    def _map_shards(self, fn, threads: int, executor) -> list:
+        """``fn(shard, i)`` over every shard, results in row order.
+
+        The parallel paths need every shard in memory at once; the
+        sequential path visits shards one at a time and calls
+        :meth:`_after_shard` between them, which is where the lazy form
+        streams cold shards back out so one request never holds more
+        than the shard byte budget (plus the shard in flight).
+        """
+        if executor is not None:
+            return executor.map_blocks(fn, self._all_shards())
+        if threads > 1 and self.n_shards > 1:
+            shards = self._all_shards()
+            with ThreadPoolExecutor(max_workers=threads) as pool:
+                futures = [
+                    pool.submit(fn, s, i) for i, s in enumerate(shards)
+                ]
+                return [f.result() for f in futures]
+        results = []
+        for i in range(self.n_shards):
+            results.append(fn(self._shard(i), i))
+            self._after_shard(i)
+        return results
+
+    def _after_shard(self, i: int) -> None:
+        """Hook between sequential shard visits (base: no-op)."""
+
+    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
+        parts = self._map_shards(
+            lambda s, _i: s.right_multiply(x), threads, executor
+        )
+        return np.concatenate(parts)
+
+    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
+        parts = self._map_shards(
+            lambda s, i: s.left_multiply(
+                y[self._offsets[i] : self._offsets[i + 1]]
+            ),
+            threads,
+            executor,
+        )
+        out = np.zeros(self._shape[1], dtype=np.float64)
+        for p in parts:
+            out += p
+        return out
+
+    def _right_panel_kernel(self, threads: int, executor):
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            self._map_shards(
+                lambda s, i: s.right_multiply_matrix(
+                    panel, out=out[self._offsets[i] : self._offsets[i + 1]]
+                ),
+                threads,
+                executor,
+            )
+
+        return kernel
+
+    def _left_panel_kernel(self, threads: int, executor):
+        def kernel(panel: np.ndarray, out: np.ndarray) -> None:
+            parts = self._map_shards(
+                lambda s, i: s.left_multiply_matrix(
+                    panel[self._offsets[i] : self._offsets[i + 1]]
+                ),
+                threads,
+                executor,
+            )
+            out[:] = 0.0
+            for p in parts:
+                out += p
+
+        return kernel
+
+    # -- shared accounting ----------------------------------------------------------
+
+    def resident_overhead_bytes(self) -> int:
+        return sum(s.resident_overhead_bytes() for s in self._loaded_shards())
+
+    def enable_plan_retention(self, retain: bool = True) -> bool:
+        return any(
+            [s.enable_plan_retention(retain) for s in self._loaded_shards()]
+        )
+
+    def release_retained_plans(self) -> None:
+        for s in self._loaded_shards():
+            s.release_retained_plans()
+
+    def _loaded_shards(self) -> list:
+        """Shards currently in memory (all of them for the eager form)."""
+        return self._all_shards()
+
+
+class ShardedMatrix(_ShardFanout):
+    """A matrix stored as independently compressed row shards.
+
+    Unlike :class:`repro.core.blocked.BlockedMatrix` — whose blocks
+    share one value dictionary and one grammar configuration — every
+    shard here is a complete, self-contained representation of its row
+    slice, and shards may mix formats freely (``csr`` for the sparse
+    stripe, ``re_ans`` for the repetitive one, ...).
+
+    Parameters
+    ----------
+    shards:
+        Per-shard :class:`~repro.formats.MatrixFormat` instances
+        covering consecutive row ranges, in row order.
+    shape:
+        Overall ``(n_rows, n_cols)``.
+    """
+
+    def __init__(self, shards: list, shape: tuple[int, int]):
+        if not shards:
+            raise MatrixFormatError("ShardedMatrix requires at least one shard")
+        self._shards = list(shards)
+        self._shape = (int(shape[0]), int(shape[1]))
+        for s in self._shards:
+            if s.shape[1] != self._shape[1]:
+                raise MatrixFormatError(
+                    f"shard has {s.shape[1]} columns, expected {self._shape[1]}"
+                )
+        self._offsets = _offsets_of([s.shape[0] for s in self._shards])
+        if self._offsets[-1] != self._shape[0]:
+            raise MatrixFormatError(
+                f"shards cover {self._offsets[-1]} rows, "
+                f"expected {self._shape[0]}"
+            )
+
+    def _shard(self, i: int):
+        return self._shards[i]
+
+    def _all_shards(self) -> list:
+        return list(self._shards)
+
+    @property
+    def shard_formats(self) -> tuple[str, ...]:
+        return tuple(s.format_name for s in self._shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedMatrix(shape={self._shape}, n_shards={self.n_shards}, "
+            f"formats={list(self.shard_formats)})"
+        )
+
+    # -- accounting -----------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes() for s in self._shards)
+
+    def size_breakdown(self) -> dict[str, int]:
+        """Bytes aggregated by shard format (values sum to size_bytes)."""
+        parts: dict[str, int] = {}
+        for s in self._shards:
+            key = s.format_name
+            parts[key] = parts.get(key, 0) + int(s.size_bytes())
+        return parts
+
+
+def build_sharded(
+    source,
+    plan: ShardPlan | None = None,
+    n_shards: int | None = None,
+    target_rows: int | None = None,
+    target_bytes: int | None = None,
+    format: str | None = None,
+    executor=None,
+    workers: int = 1,
+    **build_opts,
+) -> ShardedMatrix:
+    """Compress ``source`` into a :class:`ShardedMatrix`.
+
+    Either pass a precomputed :class:`~repro.shard.plan.ShardPlan` or
+    the planner's sizing knobs (see
+    :func:`~repro.shard.plan.plan_shards`).  Shard builds are
+    independent, so ``executor`` (a
+    :class:`repro.serve.executor.BlockExecutor`) or ``workers > 1``
+    (a transient thread pool) compresses them in parallel.
+    """
+    from repro import formats as _registry
+
+    dense = np.asarray(source, dtype=np.float64)
+    if plan is None:
+        plan = plan_shards(
+            dense,
+            n_shards=n_shards,
+            target_rows=target_rows,
+            target_bytes=target_bytes,
+            format=format,
+            build_opts=build_opts or None,
+        )
+    elif plan.shape != dense.shape:
+        raise MatrixFormatError(
+            f"plan is for shape {plan.shape}, matrix has {dense.shape}"
+        )
+
+    def build_one(spec, _i=None):
+        block = dense[spec.row_start : spec.row_stop]
+        return _registry.compress(block, format=spec.format, **spec.build_opts)
+
+    specs = list(plan.shards)
+    if executor is not None:
+        shards = executor.map_blocks(lambda spec, _i: build_one(spec), specs)
+    elif workers > 1 and len(specs) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            shards = [f.result() for f in [pool.submit(build_one, s) for s in specs]]
+    else:
+        shards = [build_one(s) for s in specs]
+    return ShardedMatrix(shards, plan.shape)
+
+
+class LazyShardedMatrix(_ShardFanout):
+    """A sharded container file served shard-by-shard under a byte budget.
+
+    Construction reads only the shard manifest (row ranges and byte
+    ranges); each shard payload is deserialized on the first
+    multiplication that needs it and kept as an LRU entry.  When
+    ``shard_byte_budget`` is set, the loaded set is trimmed to the
+    budget by evicting least-recently-used shards — *between* shard
+    visits on the sequential path (so even one request over a
+    container much larger than the budget only ever holds a budget's
+    worth of shards plus the one in flight), and after the request on
+    the ``threads``/``executor`` paths (which need all shards live at
+    once; parallelism deliberately trades the in-request bound for
+    speed).  The whole matrix stays registered and servable while only
+    a sliding window of shards is resident.
+
+    The serving registry (:class:`repro.serve.registry.MatrixRegistry`)
+    builds these for ``"sharded"`` entries, passing its own byte budget
+    through, and re-polls :meth:`resident_footprint_bytes` (see
+    :attr:`dynamic_residency`) so its accounting follows the loaded
+    window rather than a load-time snapshot.
+    """
+
+    #: Tells the serving registry this matrix's resident footprint
+    #: changes between requests and must be re-polled.
+    dynamic_residency = True
+
+    def __init__(
+        self,
+        path,
+        shard_byte_budget: int | None = None,
+        retain_plans: bool = False,
+    ):
+        from repro.io.serialize import read_shard_manifest
+
+        self._path = path
+        self._shape, self._manifest = read_shard_manifest(path)
+        self._offsets = _offsets_of([e.n_rows for e in self._manifest])
+        self._budget = shard_byte_budget
+        self._retain_plans = bool(retain_plans)
+        self._lock = threading.RLock()
+        self._loaded: dict[int, object] = {}
+        self._last_use: dict[int, int] = {}
+        self._tick = 0
+        self.shard_loads = 0
+        self.shard_evictions = 0
+
+    # -- shard loading and eviction ---------------------------------------------------
+
+    @property
+    def path(self):
+        return self._path
+
+    @property
+    def shard_byte_budget(self) -> int | None:
+        return self._budget
+
+    @property
+    def resident_shards(self) -> int:
+        """How many shards are currently loaded."""
+        with self._lock:
+            return len(self._loaded)
+
+    def _shard(self, i: int):
+        with self._lock:
+            self._tick += 1
+            self._last_use[i] = self._tick
+            shard = self._loaded.get(i)
+            if shard is not None:
+                return shard
+        entry = self._manifest[i]
+        with open(self._path, "rb") as fh:
+            fh.seek(entry.offset)
+            blob = fh.read(entry.length)
+        from repro.io.serialize import loads_matrix
+
+        shard = loads_matrix(blob)
+        if self._retain_plans:
+            shard.enable_plan_retention(True)
+        with self._lock:
+            # A concurrent load of the same shard may have won.
+            existing = self._loaded.get(i)
+            if existing is not None:
+                return existing
+            self._loaded[i] = shard
+            self.shard_loads += 1
+            return shard
+
+    def _all_shards(self) -> list:
+        return [self._shard(i) for i in range(self.n_shards)]
+
+    def _loaded_shards(self) -> list:
+        with self._lock:
+            return list(self._loaded.values())
+
+    def resident_shard_bytes(self) -> int:
+        """Summed resident estimate of the currently loaded shards."""
+        return sum(
+            int(s.size_bytes()) + int(s.resident_overhead_bytes())
+            for s in self._loaded_shards()
+        )
+
+    def enforce_shard_budget(self) -> int:
+        """Evict LRU shards until the loaded set fits the budget.
+
+        Returns the number of shards evicted.  With no budget this is
+        a no-op.  All loaded shards may be evicted — a cold shard
+        reloads on its next use, so the matrix always stays servable.
+        """
+        if self._budget is None:
+            return 0
+        evicted = 0
+        with self._lock:
+            while self._loaded and self.resident_shard_bytes() > self._budget:
+                victim = min(self._loaded, key=lambda i: self._last_use[i])
+                shard = self._loaded.pop(victim)
+                shard.release_retained_plans()
+                self.shard_evictions += 1
+                evicted += 1
+        return evicted
+
+    def evict_all_shards(self) -> None:
+        """Drop every loaded shard (registry whole-matrix eviction)."""
+        with self._lock:
+            for shard in self._loaded.values():
+                shard.release_retained_plans()
+            self._loaded.clear()
+            self._last_use.clear()
+
+    def _after_shard(self, i: int) -> None:
+        """Stream cold shards out between sequential shard visits."""
+        self.enforce_shard_budget()
+
+    # -- budget hooks on the public kernel surface ------------------------------------
+
+    def right_multiply(self, x, threads: int = 1, executor=None) -> np.ndarray:
+        try:
+            return super().right_multiply(x, threads=threads, executor=executor)
+        finally:
+            self.enforce_shard_budget()
+
+    def left_multiply(self, y, threads: int = 1, executor=None) -> np.ndarray:
+        try:
+            return super().left_multiply(y, threads=threads, executor=executor)
+        finally:
+            self.enforce_shard_budget()
+
+    def right_multiply_matrix(self, x_block, **kwargs) -> np.ndarray:
+        try:
+            return super().right_multiply_matrix(x_block, **kwargs)
+        finally:
+            self.enforce_shard_budget()
+
+    def left_multiply_matrix(self, y_block, **kwargs) -> np.ndarray:
+        try:
+            return super().left_multiply_matrix(y_block, **kwargs)
+        finally:
+            self.enforce_shard_budget()
+
+    # -- accounting -------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Serialized payload bytes over all shards (loaded or not)."""
+        return sum(e.length for e in self._manifest)
+
+    def size_breakdown(self) -> dict[str, int]:
+        return {"shards": self.size_bytes()}
+
+    def resident_footprint_bytes(self) -> int:
+        """Live bytes right now: only the loaded shard window counts."""
+        return self.resident_shard_bytes()
+
+    def enable_plan_retention(self, retain: bool = True) -> bool:
+        self._retain_plans = bool(retain)
+        return super().enable_plan_retention(retain)
+
+    def release_retained_plans(self) -> None:
+        self.evict_all_shards()
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyShardedMatrix(path={str(self._path)!r}, "
+            f"shape={self._shape}, n_shards={self.n_shards}, "
+            f"resident={self.resident_shards})"
+        )

@@ -6,9 +6,15 @@ import pytest
 from repro.core.blocked import BlockedMatrix
 from repro.core.csrv import CSRVMatrix
 from repro.core.gcm import VARIANTS, GrammarCompressedMatrix
-from repro.errors import SerializationError
+from repro.errors import (
+    SerializationError,
+    TruncatedPayloadError,
+    UnknownKindError,
+)
 from repro.io.serialize import (
+    KIND_GCM,
     PEEK_PREFIX_BYTES,
+    loads_matrix,
     peek_matrix_info,
     read_matrix_info,
     save_matrix,
@@ -56,6 +62,70 @@ class TestPeek:
             peek_matrix_info(b"GCMX\x63\x00")  # bad version
         with pytest.raises(SerializationError):
             peek_matrix_info(b"GCMX\x01\x63")  # bad kind
+
+
+class TestTypedDecodeErrors:
+    """Truncated / wrong-kind payloads raise typed, kind-tagged errors."""
+
+    @pytest.fixture
+    def blob(self, dense):
+        return saves_matrix(GrammarCompressedMatrix.compress(dense))
+
+    def test_wrong_kind_carries_the_offending_byte(self, blob):
+        bad = blob[:5] + bytes([0x63]) + blob[6:]
+        for fn in (peek_matrix_info, loads_matrix):
+            with pytest.raises(UnknownKindError) as excinfo:
+                fn(bad)
+            assert excinfo.value.kind == 0x63
+            assert "99" in str(excinfo.value)
+        assert isinstance(excinfo.value, SerializationError)
+
+    @pytest.mark.parametrize("cut_back", [1, 3, 9, 30])
+    def test_truncated_payload_is_typed(self, blob, cut_back):
+        with pytest.raises(SerializationError):
+            loads_matrix(blob[: len(blob) - cut_back])
+
+    def test_empty_and_header_only_blobs(self):
+        for data in (b"", b"GC", b"GCMX", b"GCMX\x01"):
+            with pytest.raises(SerializationError):
+                loads_matrix(data)
+            with pytest.raises(SerializationError):
+                peek_matrix_info(data)
+
+    def test_truncated_peek_is_typed(self, blob):
+        # cut inside the leading metadata varints the peek reads
+        with pytest.raises(SerializationError) as excinfo:
+            peek_matrix_info(blob[:8])
+        assert isinstance(excinfo.value, TruncatedPayloadError)
+        assert excinfo.value.kind == KIND_GCM
+
+    def test_corrupt_payload_never_leaks_bare_errors(self, dense):
+        import repro
+
+        for fmt in repro.formats.available():
+            spec = repro.formats.get(fmt)
+            if spec.kind is None:
+                continue
+            blob = saves_matrix(repro.compress(dense, format=fmt))
+            for cut in range(7, len(blob), max(1, len(blob) // 17)):
+                try:
+                    loads_matrix(blob[:cut])
+                except repro.ReproError:
+                    pass  # the contract: typed, never bare
+            mid = len(blob) // 2
+            mangled = (
+                blob[:mid]
+                + bytes(b ^ 0xFF for b in blob[mid : mid + 4])
+                + blob[mid + 4 :]
+            )
+            try:
+                loads_matrix(mangled)
+            except SerializationError:
+                pass
+            except Exception as exc:  # noqa: BLE001 — the assertion itself
+                from repro.errors import ReproError
+
+                assert isinstance(exc, ReproError), (fmt, type(exc))
 
 
 class TestReadInfo:

@@ -1,0 +1,276 @@
+"""Tests for lazy shard-by-shard serving and shard-level eviction."""
+
+import numpy as np
+import pytest
+
+from repro.io.serialize import read_shard_manifest, save_matrix
+from repro.serve.registry import MatrixRegistry
+from repro.shard import LazyShardedMatrix, build_sharded
+from tests.shard.test_plan import mixed_matrix
+
+
+@pytest.fixture
+def dense(rng):
+    return mixed_matrix(rng)
+
+
+@pytest.fixture
+def container(dense, tmp_path):
+    """A 3-shard mixed-format container file on disk."""
+    sm = build_sharded(dense, n_shards=3)
+    path = tmp_path / "m.gcmx"
+    save_matrix(sm, path)
+    return path, sm
+
+
+class TestManifest:
+    def test_manifest_matches_container(self, container, dense):
+        path, sm = container
+        shape, entries = read_shard_manifest(path)
+        assert shape == dense.shape
+        assert len(entries) == 3
+        assert [e.row_start for e in entries] == list(sm.row_offsets[:-1])
+        # sections tile the rest of the file exactly
+        assert entries[-1].offset + entries[-1].length == path.stat().st_size
+
+    def test_manifest_rejects_non_sharded_file(self, dense, tmp_path):
+        import repro
+
+        path = tmp_path / "plain.gcmx"
+        save_matrix(repro.compress(dense, format="csrv"), path)
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError, match="not a sharded"):
+            read_shard_manifest(path)
+
+
+class TestLazyLoading:
+    def test_nothing_loaded_at_construction(self, container):
+        path, _ = container
+        lazy = LazyShardedMatrix(path)
+        assert lazy.resident_shards == 0
+        assert lazy.shard_loads == 0
+        assert lazy.resident_footprint_bytes() == 0
+
+    def test_multiply_matches_dense_and_loads_all(self, container, dense, rng):
+        path, _ = container
+        lazy = LazyShardedMatrix(path)
+        x = rng.standard_normal(dense.shape[1])
+        assert np.allclose(lazy @ x, dense @ x)
+        assert lazy.shard_loads == 3
+        assert lazy.resident_shards == 3  # no budget: everything stays
+        y = rng.standard_normal(dense.shape[0])
+        assert np.allclose(y @ lazy, y @ dense)
+        assert lazy.shard_loads == 3  # warm: no reloads
+
+    def test_panel_matches_dense(self, container, dense, rng):
+        path, _ = container
+        lazy = LazyShardedMatrix(path)
+        X = rng.standard_normal((dense.shape[1], 5))
+        assert np.allclose(lazy.right_multiply_matrix(X, panel_width=2), dense @ X)
+
+    def test_to_dense(self, container, dense):
+        path, _ = container
+        assert np.allclose(LazyShardedMatrix(path).to_dense(), dense)
+
+    def test_size_bytes_without_loading(self, container):
+        path, sm = container
+        lazy = LazyShardedMatrix(path)
+        _, entries = read_shard_manifest(path)
+        assert lazy.size_bytes() == sum(e.length for e in entries)
+        assert lazy.resident_shards == 0
+
+
+class TestShardEviction:
+    def test_budget_evicts_cold_shards_after_multiply(
+        self, container, dense, rng
+    ):
+        path, sm = container
+        # budget below the total resident estimate but above the
+        # largest single shard's — a strict subset survives each op.
+        per_shard = [s.size_bytes() + s.resident_overhead_bytes()
+                     for s in sm.shards]
+        budget = max(per_shard) + min(per_shard)
+        lazy = LazyShardedMatrix(path, shard_byte_budget=budget)
+        x = rng.standard_normal(dense.shape[1])
+        assert np.allclose(lazy @ x, dense @ x)
+        assert lazy.shard_evictions >= 1
+        assert 0 < lazy.resident_shards < 3
+        assert lazy.resident_shard_bytes() <= budget
+        # still servable: cold shards stream back in
+        assert np.allclose(lazy @ x, dense @ x)
+        assert lazy.shard_loads > 3
+
+    def test_sequential_multiply_streams_within_budget(
+        self, container, dense, rng
+    ):
+        """One request never holds more than budget + one shard."""
+        path, sm = container
+        per_shard = [s.size_bytes() + s.resident_overhead_bytes()
+                     for s in sm.shards]
+        budget = min(per_shard)  # almost nothing may stay loaded
+        lazy = LazyShardedMatrix(path, shard_byte_budget=budget)
+        peak = 0
+        original = lazy._after_shard
+
+        def tracking_after_shard(i):
+            nonlocal peak
+            peak = max(peak, lazy.resident_shard_bytes())
+            original(i)
+
+        lazy._after_shard = tracking_after_shard
+        x = rng.standard_normal(dense.shape[1])
+        assert np.allclose(lazy @ x, dense @ x)
+        # streaming: between shard visits the loaded set stayed within
+        # the budget plus the shard just visited
+        assert peak <= budget + max(per_shard)
+        assert peak < sum(per_shard), "whole container was materialised"
+
+    def test_lru_keeps_recently_used(self, container, dense, rng):
+        path, sm = container
+        lazy = LazyShardedMatrix(path, shard_byte_budget=1)
+        x = rng.standard_normal(dense.shape[1])
+        assert np.allclose(lazy @ x, dense @ x)
+        # budget of 1 byte: everything evicted, matrix still answers
+        assert lazy.resident_shards == 0
+        assert np.allclose(lazy @ x, dense @ x)
+
+    def test_evict_all_shards(self, container, dense, rng):
+        path, _ = container
+        lazy = LazyShardedMatrix(path)
+        lazy @ rng.standard_normal(dense.shape[1])
+        lazy.evict_all_shards()
+        assert lazy.resident_shards == 0
+
+
+class TestRegistryServing:
+    def test_lazy_load_through_registry(self, container, dense, rng):
+        path, _ = container
+        registry = MatrixRegistry(root=path.parent)
+        matrix = registry.get("m")
+        assert isinstance(matrix, LazyShardedMatrix)
+        x = rng.standard_normal(dense.shape[1])
+        assert np.allclose(matrix @ x, dense @ x)
+
+    def test_registry_describe_reports_shards(self, container, dense, rng):
+        path, _ = container
+        registry = MatrixRegistry(root=path.parent)
+        info = registry.describe("m")
+        assert info["format"] == "sharded"
+        assert info["n_shards"] == 3
+        assert "resident_shards" not in info  # not resident yet
+        matrix = registry.get("m")
+        matrix @ rng.standard_normal(dense.shape[1])
+        info = registry.describe("m")
+        assert info["resident_shards"] == 3
+
+    def test_shard_level_eviction_under_registry_budget(
+        self, container, dense, rng
+    ):
+        path, sm = container
+        per_shard = [s.size_bytes() + s.resident_overhead_bytes()
+                     for s in sm.shards]
+        budget = max(per_shard) + min(per_shard)
+        registry = MatrixRegistry(root=path.parent, byte_budget=budget)
+        matrix = registry.get("m")
+        assert matrix.shard_byte_budget == budget
+        x = rng.standard_normal(dense.shape[1])
+        assert np.allclose(matrix @ x, dense @ x)
+        # shards were evicted, the matrix itself stays registered+resident
+        stats = registry.stats()
+        assert stats["resident"] == 1
+        assert stats["shard_loads"] >= 3
+        assert stats["shard_evictions"] >= 1
+        assert 0 < stats["resident_shards"] < 3
+        assert registry.resident_bytes <= budget
+
+    def test_registry_whole_eviction_releases_shards(
+        self, container, dense, rng
+    ):
+        path, _ = container
+        registry = MatrixRegistry(root=path.parent)
+        matrix = registry.get("m")
+        matrix @ rng.standard_normal(dense.shape[1])
+        assert matrix.resident_shards == 3
+        assert registry.evict("m") is True
+        assert matrix.resident_shards == 0
+
+    def test_enforce_budget_bounds_multiple_grown_entries(
+        self, dense, tmp_path, rng
+    ):
+        """Residency grown after load is brought back under the budget."""
+        for name in ("a", "b"):
+            save_matrix(build_sharded(dense, n_shards=3), tmp_path / f"{name}.gcmx")
+        one_total = sum(
+            s.size_bytes() + s.resident_overhead_bytes()
+            for s in build_sharded(dense, n_shards=3).shards
+        )
+        # Fits one fully-loaded container, not two.
+        budget = int(1.5 * one_total)
+        registry = MatrixRegistry(root=tmp_path, byte_budget=budget)
+        x = rng.standard_normal(dense.shape[1])
+        for name in ("a", "b"):
+            # threads=2 loads all shards at once (no in-request streaming)
+            registry.get(name).right_multiply(x, threads=2)
+        assert registry.resident_bytes > budget  # grown past the check
+        evicted = registry.enforce_budget(keep="b")
+        assert evicted >= 1
+        assert registry.resident_bytes <= budget
+        assert registry.describe("b")["resident"] is True
+
+    def test_shard_counters_survive_whole_eviction(
+        self, container, dense, rng
+    ):
+        path, _ = container
+        registry = MatrixRegistry(root=path.parent)
+        matrix = registry.get("m")
+        matrix @ rng.standard_normal(dense.shape[1])
+        before = registry.stats()
+        assert before["shard_loads"] == 3
+        registry.evict("m")
+        after = registry.stats()
+        assert after["shard_loads"] == 3  # absorbed, not lost
+        assert after["resident_shards"] == 0
+
+    def test_eager_shards_opt_out(self, container, dense):
+        from repro.shard import ShardedMatrix
+
+        path, _ = container
+        registry = MatrixRegistry(root=path.parent, lazy_shards=False)
+        assert isinstance(registry.get("m"), ShardedMatrix)
+        assert registry.stats()["lazy_shards"] is False
+
+    def test_plan_retention_flows_to_lazy_shards(self, container, dense, rng):
+        path, _ = container
+        registry = MatrixRegistry(root=path.parent, retain_plans=True)
+        matrix = registry.get("m")
+        matrix @ rng.standard_normal(dense.shape[1])
+        # the re_ans shard retains its plan → overhead is charged
+        assert matrix.resident_footprint_bytes() > matrix.size_bytes()
+
+
+class TestServedOverHttp:
+    def test_multiply_round_trip(self, container, dense, rng):
+        import json
+        import urllib.request
+
+        from repro.serve.server import MatrixServer
+
+        path, _ = container
+        registry = MatrixRegistry(root=path.parent, byte_budget=64 * 1024)
+        with MatrixServer(registry, port=0).start() as server:
+            x = rng.standard_normal(dense.shape[1])
+            req = urllib.request.Request(
+                f"{server.url}/multiply",
+                data=json.dumps(
+                    {"matrix": "m", "vectors": x.tolist()}
+                ).encode(),
+                method="POST",
+            )
+            body = json.loads(urllib.request.urlopen(req, timeout=30).read())
+            assert body["format"] == "sharded"
+            assert np.allclose(np.asarray(body["result"][0]), dense @ x)
+            stats = json.loads(
+                urllib.request.urlopen(f"{server.url}/stats", timeout=10).read()
+            )
+            assert stats["registry"]["shard_loads"] >= 3

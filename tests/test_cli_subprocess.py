@@ -1,0 +1,149 @@
+"""Subprocess round-trips of the full CLI surface.
+
+The in-process CLI tests (:mod:`tests.test_cli`) call ``main(argv)``
+directly, which misses the real entry point: ``python -m repro`` in a
+fresh interpreter, exit codes as the shell sees them, and files written
+where the invocation says.  These tests drive the whole surface —
+``datasets → compress → info → multiply → decompress`` plus the
+``shard`` pipeline — as subprocesses against a tmp dir, asserting exit
+codes and numeric parity with the dense source.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_structured
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def run_cli(*argv: str, cwd=None):
+    """``python -m repro *argv`` with src on PYTHONPATH; returns the proc."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A tmp dir with a dense source matrix and its .npy operands."""
+    root = tmp_path_factory.mktemp("cli_store")
+    rng = np.random.default_rng(321)
+    dense = make_structured(rng, n=90, m=11)
+    np.save(root / "dense.npy", dense)
+    np.save(root / "x.npy", np.ones(dense.shape[1]))
+    np.save(root / "y.npy", np.ones(dense.shape[0]))
+    return root, dense
+
+
+class TestHappyPath:
+    def test_datasets_lists(self):
+        proc = run_cli("datasets")
+        assert proc.returncode == 0, proc.stderr
+        assert "census" in proc.stdout
+
+    def test_compress_info_multiply_decompress(self, store):
+        root, dense = store
+        blob = root / "m.gcmx"
+        proc = run_cli("compress", str(root / "dense.npy"), str(blob),
+                       "--format", "re_ans")
+        assert proc.returncode == 0, proc.stderr
+        assert "% of dense" in proc.stdout
+        assert blob.exists()
+
+        proc = run_cli("info", str(blob))
+        assert proc.returncode == 0, proc.stderr
+        assert "re_ans" in proc.stdout
+        assert "90 x 11" in proc.stdout
+
+        out = root / "yy.npy"
+        proc = run_cli("multiply", str(blob), str(root / "x.npy"),
+                       "--output", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert np.allclose(np.load(out), dense @ np.ones(dense.shape[1]))
+
+        proc = run_cli("multiply", str(blob), str(root / "y.npy"), "--left",
+                       "--output", str(root / "xt.npy"))
+        assert proc.returncode == 0, proc.stderr
+        assert np.allclose(
+            np.load(root / "xt.npy"), np.ones(dense.shape[0]) @ dense
+        )
+
+        back = root / "back.npy"
+        proc = run_cli("decompress", str(blob), str(back))
+        assert proc.returncode == 0, proc.stderr
+        assert np.array_equal(np.load(back), dense)
+
+    def test_shard_pipeline(self, store):
+        root, dense = store
+        blob = root / "sharded.gcmx"
+        proc = run_cli("shard", str(root / "dense.npy"), str(blob),
+                       "--shards", "3", "--workers", "2")
+        assert proc.returncode == 0, proc.stderr
+        assert "3 shards" in proc.stdout
+        assert blob.exists()
+
+        proc = run_cli("info", str(blob))
+        assert proc.returncode == 0, proc.stderr
+        assert "sharded" in proc.stdout
+        assert "shards  : 3" in proc.stdout
+
+        out = root / "sy.npy"
+        proc = run_cli("multiply", str(blob), str(root / "x.npy"),
+                       "--workers", "2", "--output", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert np.allclose(np.load(out), dense @ np.ones(dense.shape[1]))
+
+        back = root / "sback.npy"
+        proc = run_cli("decompress", str(blob), str(back))
+        assert proc.returncode == 0, proc.stderr
+        assert np.array_equal(np.load(back), dense)
+
+    def test_shard_explicit_format(self, store):
+        root, dense = store
+        blob = root / "sharded_csrv.gcmx"
+        proc = run_cli("shard", str(root / "dense.npy"), str(blob),
+                       "--target-rows", "30", "--format", "csrv")
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("csrv") >= 3
+
+
+class TestExitCodes:
+    def test_unknown_command_exits_2(self):
+        assert run_cli("frobnicate").returncode == 2
+
+    def test_shard_sizing_conflict_exits_2(self, store):
+        root, _ = store
+        proc = run_cli("shard", str(root / "dense.npy"),
+                       str(root / "o.gcmx"), "--shards", "2",
+                       "--target-rows", "5")
+        assert proc.returncode == 2  # argparse mutually-exclusive group
+
+    def test_shard_too_many_shards_exits_1(self, store):
+        root, _ = store
+        proc = run_cli("shard", str(root / "dense.npy"),
+                       str(root / "o.gcmx"), "--shards", "100000")
+        assert proc.returncode == 1
+        assert "n_shards" in proc.stderr
+
+    def test_missing_input_fails(self, store):
+        root, _ = store
+        proc = run_cli("info", str(root / "nope.gcmx"))
+        assert proc.returncode != 0
