@@ -1,0 +1,191 @@
+"""Workload bench: whole iterative algorithms, compressed vs dense.
+
+The solve layer's claim is that grammar-compressed MVM pays off when it
+is the inner kernel of a *whole algorithm* — so this benchmark runs the
+algorithms, not the kernel: PageRank, power iteration, and ridge-CG per
+registered format, reporting
+
+- **wall-clock** — total solve seconds and per-iteration p50 latency
+  (from the solver's own :class:`~repro.solve.SolveTrace`), against
+  the same algorithm run through the ``dense`` format;
+- **peak memory** — the package's modelled MVM peak
+  (:func:`repro.bench.memory.peak_mvm_bytes`) per representation, as
+  % of dense — the figure that decides whether a workload *fits*;
+- **agreement** — max |Δ| of each format's solution against the dense
+  run's (losslessness check riding along).
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_workloads.py            # full
+    PYTHONPATH=src python benchmarks/bench_workloads.py --quick    # CI smoke
+
+The JSON report (``--output``) follows the ``BENCH_*.json`` trajectory
+convention; the nightly bench workflow uploads it as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.bench.memory import peak_mvm_bytes
+from repro.bench.reporting import format_table
+
+SCHEMA = "bench_workloads/v1"
+
+#: Formats compared in full mode (every format that multiplies in
+#: compressed space; gzip/xz decompress wholesale and only distort the
+#: tables).
+FULL_FORMATS = ("dense", "csr", "csrv", "cla", "re_32", "re_iv", "re_ans",
+                "blocked", "sharded")
+
+#: Quick-mode line-up for the CI smoke configuration.
+QUICK_FORMATS = ("dense", "csrv", "re_ans", "sharded")
+
+BUILD_OPTS = {
+    "blocked": {"variant": "re_iv", "n_blocks": 4},
+    "sharded": {"n_shards": 4},
+}
+
+
+def _square_workload(rows: int, seed: int = 5) -> np.ndarray:
+    """A square nonnegative matrix with grammar-friendly repetition."""
+    rng = np.random.default_rng(seed)
+    values = np.round(rng.uniform(0.5, 4.5, size=6), 1)
+    matrix = values[rng.integers(0, 6, size=(rows, rows))]
+    matrix[rng.random((rows, rows)) >= 0.3] = 0.0
+    matrix[rng.integers(0, rows, size=max(1, rows // 50))] = 0.0  # dangling
+    return matrix
+
+
+def _workload_params(dense: np.ndarray, iterations: int) -> dict:
+    rng = np.random.default_rng(11)
+    return {
+        "pagerank": {"iterations": iterations, "tol": 1e-12},
+        "power": {"iterations": iterations, "tol": 1e-12},
+        "ridge": {
+            "iterations": iterations,
+            "tol": 1e-12,
+            "alpha": 0.5,
+            "b": rng.standard_normal(dense.shape[0]),
+        },
+    }
+
+
+def bench_format(name: str, dense: np.ndarray, params: dict,
+                 baseline: dict | None) -> dict:
+    """Build one format and run every workload on it."""
+    matrix = repro.compress(dense, format=name, **BUILD_OPTS.get(name, {}))
+    out = {
+        "size_bytes": int(matrix.size_bytes()),
+        "size_pct": 100.0 * matrix.size_bytes() / (dense.size * 8),
+        "peak_bytes": int(peak_mvm_bytes(matrix)),
+        "peak_pct": 100.0 * peak_mvm_bytes(matrix) / (dense.size * 8),
+        "workloads": {},
+    }
+    for algo, algo_params in params.items():
+        result = repro.solve(matrix, algorithm=algo, **algo_params)
+        latency = result.trace.latency_summary()
+        row = {
+            "seconds": result.total_seconds,
+            "iterations": result.iterations,
+            "converged": bool(result.converged),
+            "p50_ms": latency.get("p50_ms"),
+            "residual": result.residual,
+        }
+        if baseline is not None:
+            base = baseline["workloads"][algo]
+            row["vs_dense"] = result.total_seconds / base["seconds"]
+            row["max_delta_vs_dense"] = float(
+                np.max(np.abs(np.asarray(result.x) - base["_x"]))
+            )
+        else:
+            row["_x"] = np.asarray(result.x)
+        out["workloads"][algo] = row
+    return out
+
+
+def run(rows: int, iterations: int, formats: tuple[str, ...]) -> dict:
+    dense = _square_workload(rows)
+    params = _workload_params(dense, iterations)
+    report = {
+        "schema": SCHEMA,
+        "command": " ".join(sys.argv),
+        "rows": int(rows),
+        "iterations_cap": int(iterations),
+        "formats": {},
+    }
+    baseline = None
+    for name in formats:
+        entry = bench_format(name, dense, params, baseline)
+        if baseline is None:
+            baseline = entry  # first format is the dense reference
+        report["formats"][name] = entry
+
+    # The baseline's solution vectors are working state, not report data.
+    for entry in report["formats"].values():
+        for row in entry["workloads"].values():
+            row.pop("_x", None)
+
+    for algo in params:
+        rows_out = [
+            [
+                name,
+                f"{entry['size_pct']:.1f}",
+                f"{entry['peak_pct']:.1f}",
+                f"{entry['workloads'][algo]['seconds']:.3f}",
+                f"{entry['workloads'][algo].get('vs_dense', 1.0):.2f}x",
+                entry["workloads"][algo]["iterations"],
+            ]
+            for name, entry in report["formats"].items()
+        ]
+        print(
+            format_table(
+                ["format", "size %", "peak mem %", "seconds", "vs dense",
+                 "iters"],
+                rows_out,
+                title=f"{algo} ({rows}x{rows}, cap {iterations} iterations)",
+            )
+        )
+        print()
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small matrix + few formats (the CI smoke configuration)",
+    )
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report here"
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        rows, iterations, formats = 120, 60, QUICK_FORMATS
+    else:
+        rows, iterations, formats = 600, 100, FULL_FORMATS
+    if args.rows is not None:
+        rows = args.rows
+    if args.iterations is not None:
+        iterations = args.iterations
+
+    report = run(rows, iterations, formats)
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print("report written to", args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,35 +13,26 @@ import time
 
 import numpy as np
 
-from repro import (
-    CLAMatrix,
-    CSRVMatrix,
-    GrammarCompressedMatrix,
-    get_dataset,
-    run_iterations,
-)
-from repro.baselines import CSRIVMatrix, CSRMatrix, DenseMatrix, GzipMatrix, XzMatrix
+import repro
+from repro import run_iterations
 from repro.bench.memory import peak_mvm_pct
 from repro.bench.reporting import format_table
 
 
 def main() -> None:
-    dataset = get_dataset("census", n_rows=2000)
+    dataset = repro.get_dataset("census", n_rows=2000)
     matrix = np.asarray(dataset.matrix)
     dense_bytes = matrix.size * 8
     print(f"dataset: {dataset.name} {matrix.shape}\n")
 
+    # One registry call per representation — the names are exactly
+    # repro.formats.available() minus the block containers.
     representations = {
-        "dense": DenseMatrix(matrix),
-        "gzip": GzipMatrix(matrix),
-        "xz": XzMatrix(matrix),
-        "csr": CSRMatrix(matrix),
-        "csr-iv": CSRIVMatrix(matrix),
-        "csrv": CSRVMatrix.from_dense(matrix),
-        "cla": CLAMatrix.compress(matrix),
-        "re_32": GrammarCompressedMatrix.compress(matrix, variant="re_32"),
-        "re_iv": GrammarCompressedMatrix.compress(matrix, variant="re_iv"),
-        "re_ans": GrammarCompressedMatrix.compress(matrix, variant="re_ans"),
+        name: repro.compress(matrix, format=name)
+        for name in (
+            "dense", "gzip", "xz", "csr", "csr_iv",
+            "csrv", "cla", "re_32", "re_iv", "re_ans",
+        )
     }
 
     rows = []

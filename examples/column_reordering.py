@@ -14,18 +14,18 @@ import time
 
 import numpy as np
 
-from repro import CSRVMatrix, GrammarCompressedMatrix, get_dataset
+import repro
 from repro.reorder import compress_with_reordering, reorder_columns
 from repro.reorder.similarity import column_similarity_matrix, prune_local
 
 
 def main() -> None:
-    dataset = get_dataset("covtype", n_rows=2500)
+    dataset = repro.get_dataset("covtype", n_rows=2500)
     matrix = np.asarray(dataset.matrix)
     dense_bytes = matrix.size * 8
     print(f"dataset: {dataset.name} {matrix.shape}")
 
-    baseline = GrammarCompressedMatrix.compress(matrix, variant="re_ans")
+    baseline = repro.compress(matrix, format="re_ans")
     print(
         f"\nno reordering    : {baseline.size_bytes():7,} bytes "
         f"({100 * baseline.size_bytes() / dense_bytes:5.2f}% of dense)"
@@ -44,8 +44,9 @@ def main() -> None:
         start = time.perf_counter()
         order = reorder_columns(matrix, method=method, k=16)
         elapsed = time.perf_counter() - start
-        reordered = GrammarCompressedMatrix.compress(
-            CSRVMatrix.from_dense(matrix, column_order=order), variant="re_ans"
+        reordered = repro.compress(
+            repro.compress(matrix, format="csrv", column_order=order),
+            format="re_ans",
         )
         print(
             f"{method:<17}: {reordered.size_bytes():7,} bytes "

@@ -14,16 +14,17 @@ import time
 
 import numpy as np
 
-from repro import CSRVMatrix, GrammarCompressedMatrix, get_dataset
+import repro
+from repro import GrammarCompressedMatrix
 from repro.core.analysis import grammar_stats, rule_usage_counts
 from repro.core.entropy import empirical_entropy
 from repro.core.repair import repair_compress
 
 
 def main() -> None:
-    dataset = get_dataset("airline78", n_rows=3000)
+    dataset = repro.get_dataset("airline78", n_rows=3000)
     matrix = np.asarray(dataset.matrix)
-    csrv = CSRVMatrix.from_dense(matrix)
+    csrv = repro.compress(matrix, format="csrv")
     grammar = repair_compress(csrv.s)
 
     # 1. Structural statistics.

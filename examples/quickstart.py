@@ -12,25 +12,27 @@ sizes.
 
 import numpy as np
 
-from repro import CSRVMatrix, GrammarCompressedMatrix, get_dataset
+import repro
 
 
 def main() -> None:
     # 1. Get a matrix.  We use the synthetic stand-in for the paper's
     #    Census dataset: categorical, heavily correlated columns.
-    dataset = get_dataset("census", n_rows=2000)
+    dataset = repro.get_dataset("census", n_rows=2000)
     matrix = np.asarray(dataset.matrix)
     n, m = matrix.shape
     print(f"dataset  : {dataset.name}  ({n} x {m}, "
           f"{dataset.stats()['density']:.0%} non-zero, "
           f"{dataset.stats()['distinct']} distinct values)")
 
-    # 2. Compress.  variant="re_ans" is the smallest encoding; use
-    #    "re_32" when multiplication speed matters more than space.
-    compressed = GrammarCompressedMatrix.compress(matrix, variant="re_ans")
+    # 2. Compress through the format registry.  "re_ans" is the
+    #    smallest encoding; use "re_32" when multiplication speed
+    #    matters more than space (any name from
+    #    repro.formats.available() works here).
+    compressed = repro.compress(matrix, format="re_ans")
     dense_bytes = matrix.size * 8
     print(f"dense    : {dense_bytes:,} bytes")
-    print(f"csrv     : {CSRVMatrix.from_dense(matrix).size_bytes():,} bytes")
+    print(f"csrv     : {repro.compress(matrix, format='csrv').size_bytes():,} bytes")
     print(f"re_ans   : {compressed.size_bytes():,} bytes "
           f"({100 * compressed.size_bytes() / dense_bytes:.1f}% of dense)")
     print(f"grammar  : |C| = {compressed.c_length:,}, |R| = {compressed.n_rules:,}")

@@ -2,9 +2,25 @@
 
 The execution environment has no ``wheel`` package, so PEP 660 editable
 installs fail; this shim lets ``pip install -e .`` fall back to the
-classic ``setup.py develop`` path.  All metadata lives in pyproject.toml.
+classic ``setup.py develop`` path.  The version is read textually from
+``src/repro/_version.py`` (the single source every other surface —
+``repro.__version__``, ``python -m repro --version``, the server's
+``/stats`` payload — imports), so installing never imports the package.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_version_file = Path(__file__).parent / "src" / "repro" / "_version.py"
+_match = re.search(r'__version__\s*=\s*"([^"]+)"', _version_file.read_text())
+if _match is None:
+    raise RuntimeError(f"no __version__ in {_version_file}")
+
+setup(
+    name="repro",
+    version=_match.group(1),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

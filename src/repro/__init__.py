@@ -52,12 +52,16 @@ Package map
 - :mod:`repro.shard` — row-sharded compression: per-shard format
   selection by density profile, scatter-gather multiply, and lazy
   shard-by-shard serving;
+- :mod:`repro.solve` — compressed-domain iterative solvers (power
+  iteration, PageRank, CG/ridge, top-k subspace) over the protocol
+  kernels; callable as ``repro.solve(matrix, algorithm=..., ...)``;
 - :mod:`repro.serve` — the serving engine: matrix registry, batched
-  panel multiplication, real parallel executor, and the HTTP API
-  behind ``python -m repro serve``.
+  panel multiplication, real parallel executor, async solver jobs
+  (``/jobs``), and the HTTP API behind ``python -m repro serve``.
 """
 
-from repro import formats
+from repro import formats, solve
+from repro._version import __version__
 from repro.baselines import CSRIVMatrix, CSRMatrix, DenseMatrix, GzipMatrix, XzMatrix
 from repro.bench import bench_formats, run_iterations
 from repro.cla import CLAMatrix
@@ -82,11 +86,10 @@ from repro.shard import (
     plan_shards,
 )
 
-__version__ = "1.1.0"
-
 __all__ = [
     "compress",
     "formats",
+    "solve",
     "MatrixFormat",
     "CSRVMatrix",
     "Grammar",

@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+Imported by :mod:`repro` (``repro.__version__``), read textually by
+``setup.py`` (so installing does not import the package), reported by
+``python -m repro --version`` and in the serving engine's ``/stats``
+payload — bump it here and every surface follows.
+"""
+
+__version__ = "1.2.0"

@@ -8,6 +8,13 @@ which "mimics the most costly operations of the conjugate gradient
 method" (Section 4.2).  The harness times the loop, optionally checks
 every iterate against a dense reference, and reports the modelled peak
 memory.
+
+The loop itself now lives in :func:`repro.solve.power_iteration` (the
+Eq. (4) iteration *is* the power method on ``MᵗM``); this harness is a
+thin timing/verification wrapper around that driver — except for the
+``"simulated"`` parallel model, whose per-block LPT bookkeeping stays
+local.  Plan retention is left **off**, matching the paper's per-call
+cost model (the serving layer opts in separately).
 """
 
 from __future__ import annotations
@@ -49,23 +56,6 @@ class IterationResult:
     peak_bytes: int
     peak_pct: float
     max_error: float
-
-
-def _multiply(
-    matrix, direction: str, vec: np.ndarray, threads: int, executor=None
-) -> np.ndarray:
-    """One protocol multiplication (with a duck-typing fallback).
-
-    Every representation in this package speaks the uniform
-    :class:`repro.formats.MatrixFormat` kernel signature; the bare-call
-    fallback keeps external objects with a plain ``right_multiply(x)``
-    benchable.
-    """
-    method = getattr(matrix, f"{direction}_multiply")
-    try:
-        return method(vec, threads=threads, executor=executor)
-    except TypeError:
-        return method(vec)
 
 
 def run_iterations(
@@ -136,8 +126,8 @@ def run_iterations(
     gc.disable()
     try:
         start = time.perf_counter()
-        for _ in range(iterations):
-            if simulate:
+        if simulate:
+            for _ in range(iterations):
                 from repro.bench.parallel import (
                     lpt_makespan,
                     simulated_left_multiply,
@@ -149,17 +139,41 @@ def run_iterations(
                 simulated_iters.append(
                     lpt_makespan(d_right, threads) + lpt_makespan(d_left, threads)
                 )
-            else:
-                y = _multiply(matrix, "right", x, threads, executor)
-                z = _multiply(matrix, "left", y, threads, executor)
-            if reference is not None:
-                max_error = max(
-                    max_error,
-                    float(np.max(np.abs(y - reference @ x), initial=0.0)),
-                    float(np.max(np.abs(z - y @ reference), initial=0.0)),
-                )
-            norm = float(np.max(np.abs(z), initial=0.0))
-            x = z / norm if norm > 0 else z
+                if reference is not None:
+                    max_error = max(
+                        max_error,
+                        float(np.max(np.abs(y - reference @ x), initial=0.0)),
+                        float(np.max(np.abs(z - y @ reference), initial=0.0)),
+                    )
+                norm = float(np.max(np.abs(z), initial=0.0))
+                x = z / norm if norm > 0 else z
+        else:
+            # The measured loop is the solve layer's power iteration —
+            # same arithmetic, same normalization — run for exactly
+            # ``iterations`` rounds (tol=None disables early stopping)
+            # with plan retention off (the paper's per-call cost model).
+            from repro.solve.algorithms import power_iteration
+
+            def observer(_k, x_k, y, z):
+                nonlocal max_error
+                if reference is not None:
+                    max_error = max(
+                        max_error,
+                        float(np.max(np.abs(y - reference @ x_k), initial=0.0)),
+                        float(np.max(np.abs(z - y @ reference), initial=0.0)),
+                    )
+
+            solved = power_iteration(
+                matrix,
+                iterations=iterations,
+                tol=None,
+                x0=x,
+                threads=threads,
+                executor=executor,
+                retain_plans=False,
+                observer=observer,
+            )
+            x = solved.x
         total = time.perf_counter() - start
     finally:
         if gc_was_enabled:

@@ -23,6 +23,12 @@ Commands
     independently (``--format`` for one format everywhere, default
     per-shard selection by density profile), and write one sharded
     container file.  ``--workers N`` compresses shards in parallel.
+``solve ALGO FILE.gcmx``
+    Run a named iterative algorithm (``power``, ``pagerank``, ``cg``,
+    ``ridge``, ``topk`` — see :mod:`repro.solve`) on a compressed
+    file, entirely in the compressed domain, and report the
+    convergence trace.  ``--workers N`` shares one executor pool
+    across every iteration.
 ``bench NAME``
     Run the Eq. (4) workload on one synthetic dataset and report
     size/time/peak-memory for every representation.  ``--workers N``
@@ -30,8 +36,12 @@ Commands
     a real executor pool.
 ``serve ROOT``
     Serve a directory of ``.gcmx`` files over the HTTP JSON API
-    (``/matrices``, ``/multiply``, ``/stats`` — see
-    :mod:`repro.serve.server`).
+    (``/matrices``, ``/multiply``, ``/jobs``, ``/stats`` — see
+    :mod:`repro.serve.server`).  ``--job-workers N`` sets how many
+    asynchronous solver jobs run concurrently.
+
+``repro --version`` prints the package version
+(:mod:`repro._version`, the same figure ``/stats`` reports).
 """
 
 from __future__ import annotations
@@ -42,6 +52,8 @@ import sys
 import numpy as np
 
 from repro import formats
+from repro import solve as solve_api
+from repro._version import __version__
 from repro.bench.harness import bench_formats
 from repro.core import repair
 from repro.bench.memory import peak_mvm_pct
@@ -239,6 +251,76 @@ def _cmd_multiply(args) -> int:
     return 0
 
 
+def _cmd_solve(args) -> int:
+    matrix = load_matrix(args.file)
+    params: dict = {}
+    # Only forward what the user set: each algorithm keeps its own
+    # defaults (iteration caps and tolerances differ per algorithm).
+    if args.iterations is not None:
+        params["iterations"] = args.iterations
+    if args.tol is not None:
+        params["tol"] = args.tol
+    if args.algorithm == "pagerank" and args.damping is not None:
+        params["damping"] = args.damping
+    if args.algorithm == "cg" and args.ridge is not None:
+        params["ridge"] = args.ridge
+    if args.algorithm == "ridge" and args.alpha is not None:
+        params["alpha"] = args.alpha
+    if args.algorithm == "topk":
+        if args.k is not None:
+            params["k"] = args.k
+        if args.seed is not None:
+            params["seed"] = args.seed
+    if args.algorithm in ("cg", "ridge"):
+        if args.b is not None:
+            params["b"] = np.load(args.b)
+        else:
+            print("no --b given; solving against b = ones(n_rows)")
+            params["b"] = np.ones(matrix.shape[0])
+
+    executor = None
+    if args.workers > 1 and formats.spec_for(matrix).supports_executor:
+        from repro.serve.executor import BlockExecutor
+
+        executor = BlockExecutor(args.workers)
+        params["executor"] = executor
+    elif args.workers > 1:
+        params["threads"] = args.workers
+    try:
+        result = solve_api.solve(matrix, algorithm=args.algorithm, **params)
+    except ReproError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    finally:
+        if executor is not None:
+            executor.shutdown()
+
+    latency = result.trace.latency_summary()
+    print(
+        format_table(
+            ["algorithm", "converged", "iterations", "residual", "total s",
+             "p50 ms", "p99 ms"],
+            [[
+                result.algorithm,
+                str(result.converged),
+                result.iterations,
+                f"{result.residual:.3e}",
+                f"{result.total_seconds:.3f}",
+                f"{latency.get('p50_ms', float('nan')):.3f}",
+                f"{latency.get('p99_ms', float('nan')):.3f}",
+            ]],
+            title=f"{args.algorithm} on {args.file} "
+            f"({matrix.shape[0]}x{matrix.shape[1]}, {matrix.format_name})",
+        )
+    )
+    for key, value in result.extras.items():
+        print(f"{key}: {value}")
+    if args.output:
+        np.save(args.output, np.asarray(result.x))
+        print(f"solution ({np.asarray(result.x).shape}) saved to {args.output}")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     dataset = get_dataset(args.name, n_rows=args.rows)
     matrix = np.asarray(dataset.matrix)
@@ -314,16 +396,26 @@ def _cmd_serve(args) -> int:
         return 1
     try:
         server = MatrixServer(
-            registry, workers=args.workers, host=args.host, port=args.port
+            registry,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            job_workers=args.job_workers,
         )
     except OSError as exc:
         print(
             f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr
         )
         return 1
+    except ReproError as exc:  # bad option values (e.g. --job-workers 0)
+        print(str(exc), file=sys.stderr)
+        return 1
     names = ", ".join(registry.names())
     print(f"serving {len(registry)} matrices ({names}) on {server.url}")
-    print("endpoints: GET /matrices  POST /multiply  GET /stats  GET /healthz")
+    print(
+        "endpoints: GET /matrices  POST /multiply  POST /jobs  "
+        "GET /jobs/<id>  GET /stats  GET /healthz"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -337,6 +429,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Grammar-compressed matrices with compressed-domain MVM",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -409,6 +504,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(fn=_cmd_multiply)
 
+    p = sub.add_parser(
+        "solve", help="run an iterative algorithm on a compressed file"
+    )
+    p.add_argument("algorithm", choices=solve_api.available())
+    p.add_argument("file", help="compressed .gcmx matrix")
+    p.add_argument(
+        "--iterations", type=int, default=None, help="iteration cap "
+        "(default: the algorithm's own)",
+    )
+    p.add_argument(
+        "--tol", type=float, default=None,
+        help="convergence tolerance (default: the algorithm's own)",
+    )
+    p.add_argument(
+        "--damping", type=float, default=None, help="pagerank damping factor"
+    )
+    p.add_argument(
+        "--ridge", type=float, default=None, help="cg ridge (λ) shift"
+    )
+    p.add_argument(
+        "--alpha", type=float, default=None, help="ridge regularisation weight"
+    )
+    p.add_argument("--k", type=int, default=None, help="topk subspace size")
+    p.add_argument("--seed", type=int, default=None, help="topk start seed")
+    p.add_argument(
+        "--b", default=None, metavar="VEC.npy",
+        help="right-hand side for cg/ridge (default: ones)",
+    )
+    p.add_argument(
+        "--output", default=None, help="save the solution vector as .npy"
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="executor pool shared across every iteration",
+    )
+    p.set_defaults(fn=_cmd_solve)
+
     p = sub.add_parser("bench", help="run Eq.(4) on a synthetic dataset")
     p.add_argument("name", choices=list_datasets())
     p.add_argument("--rows", type=int, default=None)
@@ -449,6 +581,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--eager-shards", action="store_true",
         help="materialise sharded containers whole at load time instead "
         "of streaming shards on demand under the byte budget",
+    )
+    p.add_argument(
+        "--job-workers", type=int, default=1,
+        help="background workers for asynchronous /jobs solver runs",
     )
     p.set_defaults(fn=_cmd_serve)
 

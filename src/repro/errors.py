@@ -65,3 +65,23 @@ class TruncatedPayloadError(SerializationError):
 
 class PlanningError(ReproError):
     """The CLA compression planner could not produce a valid plan."""
+
+
+class SolveError(ReproError):
+    """An iterative workload (:mod:`repro.solve`) received invalid input.
+
+    Examples: a non-square matrix handed to PageRank, a right-hand side
+    of the wrong length, or invalid iteration/tolerance parameters.
+    """
+
+
+class UnknownAlgorithmError(SolveError):
+    """A solver name no registered algorithm owns.
+
+    The offending name is kept on :attr:`algorithm` so the job API can
+    answer a typed 4xx naming exactly what was requested.
+    """
+
+    def __init__(self, algorithm: str, message: str | None = None):
+        super().__init__(message or f"unknown algorithm {algorithm!r}")
+        self.algorithm = str(algorithm)

@@ -11,6 +11,9 @@ production-scale direction:
 - :mod:`repro.serve.executor` — a real thread/process pool over the
   row blocks of a :class:`~repro.core.blocked.BlockedMatrix`,
   replacing the seed's simulated (LPT) parallelism;
+- :mod:`repro.serve.jobs` — asynchronous :mod:`repro.solve` jobs
+  (submit a named algorithm, poll status/result/trace) running on
+  background workers over the same registry and executor;
 - :mod:`repro.serve.server` — the stdlib HTTP JSON API behind
   ``python -m repro serve``;
 - :mod:`repro.serve.stats` — per-matrix request counters and latency
@@ -24,12 +27,14 @@ from repro.serve.batch import (
     looped_right_multiply,
 )
 from repro.serve.executor import BlockExecutor
+from repro.serve.jobs import JobManager
 from repro.serve.registry import MatrixRegistry
 from repro.serve.server import MatrixServer
 from repro.serve.stats import ServeStats
 
 __all__ = [
     "BlockExecutor",
+    "JobManager",
     "MatrixRegistry",
     "MatrixServer",
     "ServeStats",

@@ -1,0 +1,295 @@
+"""Asynchronous solver jobs over the serving registry.
+
+A ``/multiply`` request answers in one round-trip; an iterative
+workload (PageRank over a sharded matrix, a few hundred CG rounds) can
+run for seconds to minutes — far too long to hold an HTTP connection
+open.  This module is the serving engine's job layer:
+
+- ``POST /jobs`` *submits* a named :mod:`repro.solve` algorithm against
+  a registered matrix and returns a job id immediately (submission
+  validates the algorithm name and matrix registration, so bad
+  requests fail fast with a typed 4xx rather than a failed job);
+- a small pool of background worker threads drains the queue, loading
+  each job's matrix through the registry (lazily-sharded entries
+  stream shard-by-shard under the byte budget, exactly as ``/multiply``
+  does) and running the solver with the server's persistent
+  :class:`~repro.serve.executor.BlockExecutor`;
+- ``GET /jobs/<id>`` *polls* status, and — once finished — the result
+  payload including the per-iteration convergence/latency trace
+  (:meth:`repro.solve.SolveResult.to_payload`);
+- ``/stats`` gains the manager's counters (submitted / queued /
+  running / done / failed).
+
+Everything is stdlib (``queue`` + ``threading``); jobs live in memory
+for the server's lifetime, bounded by ``max_jobs`` retained records
+(oldest *finished* jobs are dropped first, like the latency windows).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from collections import OrderedDict
+from time import perf_counter, time
+
+from repro.errors import ReproError, SerializationError, SolveError
+
+#: Lifecycle states a job moves through (in order; ``failed`` is the
+#: error terminal).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Default cap on retained job records.
+DEFAULT_MAX_JOBS = 1024
+
+
+class Job:
+    """One submitted solver run and its lifecycle record."""
+
+    def __init__(self, job_id: str, algorithm: str, matrix: str, params: dict):
+        self.id = job_id
+        self.algorithm = algorithm
+        self.matrix = matrix
+        self.params = params
+        self.status = "queued"
+        self.submitted_at = time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.seconds: float | None = None
+        self.result: dict | None = None
+        self.error: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def describe(self, include_result: bool = True) -> dict:
+        """JSON-ready job record (``GET /jobs/<id>``)."""
+        out = {
+            "id": self.id,
+            "algorithm": self.algorithm,
+            "matrix": self.matrix,
+            "params": self.params,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "seconds": self.seconds,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if include_result and self.result is not None:
+            out["result"] = self.result
+        return out
+
+
+class JobManager:
+    """Background solver workers over a :class:`~repro.serve.registry.MatrixRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        The serving registry jobs load their matrices through (shared
+        with ``/multiply``, so residency budgets and shard streaming
+        apply to jobs too).
+    executor:
+        Optional shared :class:`~repro.serve.executor.BlockExecutor`
+        forwarded to every solver run.
+    workers:
+        Worker thread count — how many jobs run concurrently.
+    max_jobs:
+        Retained job records; the oldest finished jobs are dropped
+        beyond this (running/queued jobs are never dropped).
+    """
+
+    def __init__(
+        self,
+        registry,
+        executor=None,
+        workers: int = 1,
+        max_jobs: int = DEFAULT_MAX_JOBS,
+    ):
+        if workers < 1:
+            raise ReproError(f"job workers must be >= 1, got {workers}")
+        if max_jobs < 1:
+            raise ReproError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.registry = registry
+        self.executor = executor
+        self.workers = int(workers)
+        self.max_jobs = int(max_jobs)
+        self._lock = threading.Lock()
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._queue: queue.Queue = queue.Queue()
+        self._ids = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _ensure_workers_locked(self) -> None:
+        """Start the worker pool on first use (caller holds the lock)."""
+        if self._threads:
+            return
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-job-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def close(self) -> None:
+        """Stop the workers (running jobs finish; queued jobs drain)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(None)
+        for thread in threads:
+            thread.join(timeout=5)
+
+    # -- submission and lookup ------------------------------------------------------
+
+    def submit(self, algorithm: str, matrix: str, params: dict | None = None) -> Job:
+        """Queue one solver run; returns the (already-listed) job.
+
+        Raises the typed errors the HTTP layer maps to 4xx responses:
+        :class:`~repro.errors.UnknownAlgorithmError` for a bad
+        algorithm name, :class:`~repro.errors.SerializationError` for
+        an unregistered matrix, :class:`~repro.errors.SolveError` for
+        malformed params.
+        """
+        # Imported lazily: repro.solve.driver reuses serve.stats, so a
+        # module-level import here would be circular.
+        from repro.solve.api import get_algorithm
+
+        get_algorithm(algorithm)  # typed UnknownAlgorithmError on miss
+        if matrix not in self.registry:
+            raise SerializationError(f"no matrix registered under {matrix!r}")
+        params = dict(params or {})
+        for key in params:
+            if not isinstance(key, str):
+                raise SolveError(f"params keys must be strings, got {key!r}")
+        for reserved in ("executor", "retain_plans"):
+            if reserved in params:
+                raise SolveError(
+                    f"params may not carry {reserved!r}; the server's "
+                    "own executor and plan-retention policy apply"
+                )
+        with self._lock:
+            if self._closed:
+                raise ReproError("job manager is closed")
+            job = Job(f"job-{next(self._ids)}", algorithm, matrix, params)
+            self._jobs[job.id] = job
+            self.submitted += 1
+            self._trim()
+            self._ensure_workers_locked()
+            # Enqueued under the same lock as the closed check: a job
+            # can never slip in behind close()'s shutdown sentinels and
+            # sit "queued" forever with no worker left to drain it.
+            self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise SerializationError(f"no job with id {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        """Every retained job, oldest first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def _trim(self) -> None:
+        # Called under self._lock.
+        while len(self._jobs) > self.max_jobs:
+            victim = next(
+                (j for j in self._jobs.values() if j.finished), None
+            )
+            if victim is None:
+                break  # everything live is queued/running — keep it all
+            del self._jobs[victim.id]
+
+    # -- execution -------------------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._run(job)
+
+    def _run(self, job: Job) -> None:
+        from repro.solve.api import solve
+
+        job.status = "running"
+        job.started_at = time()
+        start = perf_counter()
+        payload = error = None
+        try:
+            matrix = self.registry.get(job.matrix)
+            # Follow the registry's plan-retention setting: a server
+            # started with --no-plan-cache must not have jobs silently
+            # re-enable retention (and grow uncharged plan memory) on
+            # its resident matrices.
+            run_params = {
+                "retain_plans": getattr(self.registry, "retain_plans", True),
+                **job.params,
+            }
+            result = solve(
+                matrix,
+                algorithm=job.algorithm,
+                executor=self.executor,
+                **run_params,
+            )
+            payload = result.to_payload()
+        except Exception as exc:  # noqa: BLE001 — a job must not kill its worker
+            # TypeError covers unknown algorithm kwargs in params — a
+            # client mistake recorded on the job; anything rarer is
+            # recorded the same way so the job never polls as
+            # "running" forever over a dead thread.
+            error = f"{type(exc).__name__}: {exc}"
+        # ``status`` is the publication point pollers key off, so every
+        # other field is in place before it flips to a terminal state.
+        job.seconds = perf_counter() - start
+        job.finished_at = time()
+        if error is None:
+            job.result = payload
+            job.status = "done"
+            with self._lock:
+                self.completed += 1
+        else:
+            job.error = error
+            job.status = "failed"
+            with self._lock:
+                self.failed += 1
+        # Solver iterations may have streamed shards in past the
+        # budget (like /multiply); re-apply it now.
+        try:
+            self.registry.enforce_budget(keep=job.matrix)
+        except ReproError:
+            pass
+
+    # -- accounting ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters for ``/stats``."""
+        with self._lock:
+            by_state = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                by_state[job.status] += 1
+            return {
+                "workers": self.workers,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "queued": by_state["queued"],
+                "running": by_state["running"],
+                "retained": len(self._jobs),
+            }

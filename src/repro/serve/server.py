@@ -16,11 +16,24 @@ is ``http.server`` + ``json``):
     comes from.  ``op`` is ``right`` (``y = Mx``, vectors of length
     ``n_cols``) or ``left`` (``xᵗ = yᵗM``, length ``n_rows``).
     Response ``result[i]`` is the product for ``vectors[i]``.
+``POST /jobs``
+    Body ``{"algorithm": name, "matrix": name, "params": {...}}``.
+    Submits a named :mod:`repro.solve` algorithm (``power``,
+    ``pagerank``, ``cg``, ``ridge``, ``topk``) as an asynchronous job
+    against a registered matrix; answers ``202`` with the job record
+    immediately.  Unknown algorithms are a typed ``400``
+    (:class:`repro.errors.UnknownAlgorithmError`), unknown matrices a
+    ``404`` — both caught at submission, before anything runs.
+``GET /jobs`` / ``GET /jobs/<id>``
+    List job records / poll one: status (``queued`` → ``running`` →
+    ``done``/``failed``) and, once finished, the solver result with
+    its per-iteration convergence + latency trace.
 ``GET /stats``
     Registry counters (hits/loads/evictions/residency — including
     ``shard_loads`` / ``shard_evictions`` / ``resident_shards`` for
-    sharded containers served shard-by-shard) and per-matrix request
-    counts with latency percentiles.
+    sharded containers served shard-by-shard), per-matrix request
+    counts with latency percentiles, job counters, and the package
+    version.
 ``GET /healthz``
     Liveness probe.
 
@@ -47,9 +60,11 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.errors import ReproError, SerializationError
+from repro._version import __version__
+from repro.errors import ReproError, SerializationError, SolveError
 from repro.serve.batch import batch_left_multiply, batch_right_multiply
 from repro.serve.executor import BlockExecutor
+from repro.serve.jobs import JobManager
 from repro.serve.registry import MatrixRegistry
 from repro.serve.stats import ServeStats
 
@@ -95,6 +110,10 @@ class MatrixServer:
         rejected with 400, and accepted batches are chunked to
         ``panel_width``-column panels so one request cannot allocate
         an unbounded multiplication workspace.
+    job_workers:
+        Background worker threads draining the ``/jobs`` queue — how
+        many iterative solves run concurrently (they share this
+        server's executor and registry budget).
     """
 
     def __init__(
@@ -105,12 +124,16 @@ class MatrixServer:
         port: int = DEFAULT_PORT,
         max_vectors: int = DEFAULT_MAX_VECTORS,
         panel_width: int = DEFAULT_PANEL_WIDTH,
+        job_workers: int = 1,
     ):
         self.registry = registry
         self.stats = ServeStats()
         self.max_vectors = int(max_vectors)
         self.panel_width = int(panel_width)
         self.executor = BlockExecutor(workers) if workers > 1 else None
+        self.jobs = JobManager(
+            registry, executor=self.executor, workers=job_workers
+        )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.app = self  # type: ignore[attr-defined]
@@ -144,12 +167,13 @@ class MatrixServer:
         return self
 
     def close(self) -> None:
-        """Stop serving and release the port and worker pool."""
+        """Stop serving and release the port, job workers, and pool."""
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        self.jobs.close()
         if self.executor is not None:
             self.executor.shutdown()
 
@@ -172,10 +196,48 @@ class MatrixServer:
 
     def stats_payload(self) -> dict:
         return {
+            "version": __version__,
             "registry": self.registry.stats(),
             "matrices": self.stats.snapshot(),
+            "jobs": self.jobs.stats(),
             "workers": self.executor.workers if self.executor else 1,
         }
+
+    # -- job endpoints ---------------------------------------------------------------
+
+    def submit_job(self, payload: dict) -> dict:
+        """Answer one ``POST /jobs`` (validation errors are typed 4xx)."""
+        if not isinstance(payload, dict):
+            raise _RequestError(400, "request body must be a JSON object")
+        algorithm = payload.get("algorithm")
+        if not isinstance(algorithm, str):
+            raise _RequestError(400, "missing string field 'algorithm'")
+        name = payload.get("matrix")
+        if not isinstance(name, str):
+            raise _RequestError(400, "missing string field 'matrix'")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise _RequestError(400, "'params' must be a JSON object")
+        try:
+            job = self.jobs.submit(algorithm, name, params)
+        except SerializationError as exc:  # unknown matrix / closed store
+            raise _RequestError(404, str(exc)) from exc
+        except SolveError as exc:  # UnknownAlgorithmError, bad params
+            raise _RequestError(400, str(exc)) from exc
+        except ReproError as exc:
+            raise _RequestError(400, str(exc)) from exc
+        return {"job": job.describe()}
+
+    def list_jobs(self) -> dict:
+        return {
+            "jobs": [job.describe(include_result=False) for job in self.jobs.jobs()]
+        }
+
+    def job_detail(self, job_id: str) -> dict:
+        try:
+            return {"job": self.jobs.get(job_id).describe()}
+        except SerializationError as exc:
+            raise _RequestError(404, str(exc)) from exc
 
     def multiply(self, payload: dict) -> dict:
         """Answer one ``/multiply`` request (also records stats)."""
@@ -286,9 +348,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _guarded(self, fn) -> None:
+    def _guarded(self, fn, status: int = 200) -> None:
         try:
-            self._respond(200, fn())
+            self._respond(status, fn())
         except _RequestError as exc:
             self._respond(exc.status, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 — a request must not kill the server
@@ -301,6 +363,11 @@ class _Handler(BaseHTTPRequestHandler):
         elif path.startswith("/matrices/"):
             name = path[len("/matrices/") :]
             self._guarded(lambda: self.app.matrix_detail(name))
+        elif path == "/jobs":
+            self._guarded(self.app.list_jobs)
+        elif path.startswith("/jobs/"):
+            job_id = path[len("/jobs/") :]
+            self._guarded(lambda: self.app.job_detail(job_id))
         elif path == "/stats":
             self._guarded(self.app.stats_payload)
         elif path == "/healthz":
@@ -308,18 +375,22 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
 
+    def _read_json_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _RequestError(400, f"invalid JSON body: {exc}") from exc
+
     def do_POST(self) -> None:  # noqa: N802 — http.server API
-        if self.path.rstrip("/") != "/multiply":
+        path = self.path.rstrip("/")
+        if path == "/multiply":
+            self._guarded(lambda: self.app.multiply(self._read_json_body()))
+        elif path == "/jobs":
+            # 202: the job is accepted and runs in the background.
+            self._guarded(
+                lambda: self.app.submit_job(self._read_json_body()), status=202
+            )
+        else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})
-            return
-
-        def run():
-            length = int(self.headers.get("Content-Length") or 0)
-            raw = self.rfile.read(length) if length else b""
-            try:
-                payload = json.loads(raw or b"{}")
-            except json.JSONDecodeError as exc:
-                raise _RequestError(400, f"invalid JSON body: {exc}") from exc
-            return self.app.multiply(payload)
-
-        self._guarded(run)

@@ -1,0 +1,71 @@
+"""``repro.solve`` — compressed-domain iterative solvers.
+
+The paper's case for grammar-compressed MVM is that multiplication is
+the inner kernel of iterative analytics; this subsystem runs those
+analytics entirely in compressed space, over the uniform
+:class:`repro.formats.MatrixFormat` protocol:
+
+- :mod:`repro.solve.kernels` — the multiplication primitives one solve
+  iterates over (``A x``, ``yᵗ A``, Gram products, panel variants with
+  reused ``out=`` workspaces; plan retention enabled once up front);
+- :mod:`repro.solve.algorithms` — power iteration (the Eq. (4) loop as
+  a solver), PageRank, conjugate gradient / ridge regression on
+  ``AᵗA + λI``, randomised top-``k`` subspace iteration;
+- :mod:`repro.solve.driver` — convergence criteria, iteration
+  callbacks, and per-iteration residual/latency traces reusing the
+  serving engine's percentile vocabulary;
+- :mod:`repro.solve.api` — the named-algorithm entry point the CLI,
+  benchmarks, and the serving engine's async job API
+  (:mod:`repro.serve.jobs`) dispatch through.
+
+The module itself is callable — ``repro.solve(matrix,
+algorithm="pagerank", ...)`` is the package-level spelling of
+:func:`repro.solve.api.solve`.
+"""
+
+from __future__ import annotations
+
+import sys
+import types
+
+from repro.solve.algorithms import (
+    conjugate_gradient,
+    pagerank,
+    power_iteration,
+    ridge_regression,
+    topk_subspace,
+)
+from repro.solve.api import ALGORITHMS, available, get_algorithm, solve
+from repro.solve.driver import SolveResult, SolveTrace, iterate
+from repro.solve.kernels import SolveKernels
+
+__all__ = [
+    "ALGORITHMS",
+    "SolveKernels",
+    "SolveResult",
+    "SolveTrace",
+    "available",
+    "conjugate_gradient",
+    "get_algorithm",
+    "iterate",
+    "pagerank",
+    "power_iteration",
+    "ridge_regression",
+    "solve",
+    "topk_subspace",
+]
+
+
+class _CallableSolveModule(types.ModuleType):
+    """Make ``repro.solve(...)`` itself dispatch to :func:`solve`.
+
+    The module stays a perfectly ordinary module (``import
+    repro.solve.algorithms`` etc. all work); it just also answers a
+    call, so the top-level API reads ``repro.solve(gm, "pagerank")``.
+    """
+
+    def __call__(self, matrix, algorithm: str = "power", **params):
+        return solve(matrix, algorithm=algorithm, **params)
+
+
+sys.modules[__name__].__class__ = _CallableSolveModule

@@ -1,0 +1,186 @@
+"""The iteration driver: convergence criteria, callbacks, and traces.
+
+Every solver in :mod:`repro.solve.algorithms` is a *step function* —
+"advance the iterate once, report a residual" — and this module is the
+loop around it: :func:`iterate` times each step, records the residual
+and latency into a :class:`SolveTrace`, invokes the caller's callback,
+and stops on convergence (``residual <= tol``) or at the iteration cap.
+
+The trace reuses the serving engine's latency machinery
+(:class:`repro.serve.stats.LatencyWindow`) so a solve reports the same
+p50/p90/p99 figures as ``/stats`` does for multiplications — a PageRank
+job polled over HTTP and a local CLI run describe their per-iteration
+behaviour in one vocabulary.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SolveError
+from repro.serve.stats import LatencyWindow
+
+
+def check_iterations(iterations: int) -> int:
+    """Validate an iteration cap with the package's error type."""
+    if iterations < 1:
+        raise SolveError(f"iterations must be >= 1, got {iterations}")
+    return int(iterations)
+
+
+def check_tol(tol: float | None) -> float | None:
+    """Validate a tolerance; ``None`` disables early stopping."""
+    if tol is None:
+        return None
+    tol = float(tol)
+    if tol < 0 or not np.isfinite(tol):
+        raise SolveError(f"tol must be finite and >= 0, got {tol}")
+    return tol
+
+
+@dataclass
+class SolveTrace:
+    """Per-iteration history of one solve: residuals and latencies.
+
+    ``residuals[k]`` and ``seconds[k]`` describe iteration ``k``
+    (0-based).  :meth:`latency_summary` reports the serving layer's
+    percentile vocabulary over the per-iteration wall-clock times.
+    """
+
+    residuals: list[float] = field(default_factory=list)
+    seconds: list[float] = field(default_factory=list)
+
+    def record(self, residual: float, seconds: float) -> None:
+        self.residuals.append(float(residual))
+        self.seconds.append(float(seconds))
+
+    def __len__(self) -> int:
+        return len(self.residuals)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.seconds))
+
+    def latency_summary(self) -> dict:
+        """count/mean/p50/p90/p99 (ms) of the per-iteration latencies."""
+        window = LatencyWindow(capacity=max(1, len(self.seconds)))
+        for s in self.seconds:
+            window.record(s)
+        return window.snapshot()
+
+    def to_payload(self) -> dict:
+        """JSON-ready form (the job API ships this in ``GET /jobs/<id>``)."""
+        return {
+            "iterations": len(self),
+            "residuals": [float(r) for r in self.residuals],
+            "seconds": [float(s) for s in self.seconds],
+            "latency": self.latency_summary(),
+        }
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Outcome of one iterative solve.
+
+    Attributes
+    ----------
+    algorithm:
+        Registry name of the algorithm that produced this result.
+    x:
+        The final iterate (eigenvector, rank vector, or solution).
+    converged:
+        Whether the residual reached ``tol`` before the iteration cap
+        (always ``False`` when early stopping was disabled).
+    iterations:
+        Iterations actually executed.
+    residual:
+        The last recorded residual.
+    trace:
+        The full :class:`SolveTrace` (residual + latency history).
+    extras:
+        Algorithm-specific scalars/arrays (eigenvalue estimate,
+        singular values, ...), JSON-serializable.
+    """
+
+    algorithm: str
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual: float
+    trace: SolveTrace
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.trace.total_seconds
+
+    def to_payload(self, include_x: bool = True) -> dict:
+        """JSON-ready form for the job API / CLI reporting."""
+        out = {
+            "algorithm": self.algorithm,
+            "converged": bool(self.converged),
+            "iterations": int(self.iterations),
+            "residual": float(self.residual),
+            "total_seconds": self.total_seconds,
+            "trace": self.trace.to_payload(),
+            "extras": _jsonify(self.extras),
+        }
+        if include_x:
+            out["x"] = np.asarray(self.x, dtype=np.float64).tolist()
+        return out
+
+
+def _jsonify(value):
+    if isinstance(value, dict):
+        return {k: _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    return value
+
+
+def iterate(
+    step: Callable[[int], float],
+    iterations: int,
+    tol: float | None,
+    callback: Callable[[int, float], None] | None = None,
+) -> tuple[SolveTrace, bool]:
+    """Run ``step`` until convergence or the iteration cap.
+
+    ``step(k)`` advances the caller's state once and returns the
+    iteration's residual; ``tol=None`` disables early stopping (the
+    fixed-iteration benchmark mode).  ``callback(k, residual)`` fires
+    after each recorded iteration.  Raising :class:`StopIteration` —
+    from ``step`` (solver breakdown, e.g. CG hitting an exactly
+    singular operator) or from ``callback`` (cooperative cancellation)
+    — stops the loop without marking convergence.
+
+    Returns ``(trace, converged)``.
+    """
+    iterations = check_iterations(iterations)
+    tol = check_tol(tol)
+    trace = SolveTrace()
+    converged = False
+    for k in range(iterations):
+        start = time.perf_counter()
+        try:
+            residual = float(step(k))
+        except StopIteration:
+            break
+        trace.record(residual, time.perf_counter() - start)
+        if callback is not None:
+            try:
+                callback(k, residual)
+            except StopIteration:
+                break
+        if tol is not None and residual <= tol:
+            converged = True
+            break
+    return trace, converged

@@ -1,0 +1,180 @@
+"""Solver conformance: every algorithm × every registered format.
+
+Parametrized over :func:`repro.formats.available` — a future format
+registration is automatically held to "runs every iterative workload
+and matches the dense-numpy reference".
+
+Tolerances: every representation in the package is *lossless*, so the
+compressed-domain iterates are the dense iterates up to float64
+round-off accumulated over a few hundred kernel applications; results
+are compared with ``atol=1e-8, rtol=1e-6`` throughout.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import formats
+
+FORMAT_NAMES = formats.available()
+
+#: Multi-block / multi-shard structure for the container formats (the
+#: rest build with defaults).
+BUILD_OPTS = {
+    "blocked": {"variant": "re_iv", "n_blocks": 3},
+    "auto": {"n_blocks": 3},
+    "sharded": {"n_shards": 3},
+}
+
+#: Comparison tolerances (lossless formats; float64 round-off only).
+ATOL, RTOL = 1e-8, 1e-6
+
+N = 26  # square: PageRank needs n_rows == n_cols
+
+
+def _square_nonneg(rng: np.random.Generator) -> np.ndarray:
+    """A square nonnegative matrix with repeated values and a dangling row."""
+    values = np.round(rng.uniform(0.5, 4.5, size=5), 1)
+    matrix = values[rng.integers(0, 5, size=(N, N))]
+    matrix[rng.random((N, N)) >= 0.45] = 0.0
+    matrix[3] = 0.0  # dangling row: exercises the redistribution term
+    return matrix
+
+
+@pytest.fixture(scope="module")
+def dense():
+    return _square_nonneg(np.random.default_rng(2024))
+
+
+@pytest.fixture(scope="module", params=FORMAT_NAMES)
+def built(request, dense):
+    name = request.param
+    return name, repro.compress(dense, format=name, **BUILD_OPTS.get(name, {}))
+
+
+def reference_pagerank(
+    dense: np.ndarray,
+    damping: float = 0.85,
+    iterations: int = 300,
+    tol: float = 1e-12,
+) -> np.ndarray:
+    """Dense-numpy PageRank, same scheme as :func:`repro.solve.pagerank`."""
+    n = dense.shape[0]
+    degree = dense.sum(axis=1)
+    dangling = degree <= 0
+    v = np.full(n, 1.0 / n)
+    r = v.copy()
+    for _ in range(iterations):
+        w = np.where(dangling, 0.0, r / np.where(dangling, 1.0, degree))
+        r_new = damping * (dense.T @ w + r[dangling].sum() * v) + (1 - damping) * v
+        r_new /= r_new.sum()
+        if np.abs(r_new - r).sum() <= tol:
+            return r_new
+        r = r_new
+    return r
+
+
+class TestPowerIteration:
+    def test_matches_dense_reference_loop(self, built, dense):
+        _, matrix = built
+        result = repro.solve(matrix, algorithm="power", iterations=40, tol=None)
+        x = np.ones(N)
+        for _ in range(40):
+            z = (dense @ x) @ dense
+            norm = np.max(np.abs(z))
+            x = z / norm if norm > 0 else z
+        assert result.iterations == 40
+        np.testing.assert_allclose(result.x, x, atol=ATOL, rtol=RTOL)
+
+    def test_converges_to_top_singular_direction(self, built, dense):
+        _, matrix = built
+        result = repro.solve(matrix, algorithm="power", iterations=500, tol=1e-13)
+        _, s, vt = np.linalg.svd(dense)
+        x = result.x / np.linalg.norm(result.x)
+        assert abs(float(x @ vt[0])) > 1 - 1e-6
+        assert result.extras["singular_value"] == pytest.approx(
+            s[0], rel=1e-6
+        )
+
+
+class TestPageRank:
+    def test_matches_dense_reference(self, built, dense):
+        _, matrix = built
+        result = repro.solve(
+            matrix, algorithm="pagerank", iterations=300, tol=1e-13
+        )
+        expected = reference_pagerank(dense, tol=1e-13)
+        assert result.converged
+        assert result.x.sum() == pytest.approx(1.0)
+        np.testing.assert_allclose(result.x, expected, atol=ATOL, rtol=RTOL)
+
+    def test_personalization(self, built, dense):
+        _, matrix = built
+        v = np.zeros(N)
+        v[:4] = 1.0
+        result = repro.solve(
+            matrix,
+            algorithm="pagerank",
+            personalization=v,
+            iterations=300,
+            tol=1e-13,
+        )
+        # Personalised mass concentrates on the teleport set.
+        assert result.x[:4].sum() > 4 / N
+
+
+class TestCgRidge:
+    def test_cg_matches_dense_solve(self, built, dense):
+        _, matrix = built
+        rng = np.random.default_rng(7)
+        b = rng.standard_normal(N)
+        ridge = 0.3
+        result = repro.solve(
+            matrix, algorithm="cg", b=b, ridge=ridge, iterations=400, tol=1e-14
+        )
+        expected = np.linalg.solve(
+            dense.T @ dense + ridge * np.eye(N), dense.T @ b
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, expected, atol=1e-6, rtol=1e-5)
+
+    def test_ridge_alias(self, built, dense):
+        _, matrix = built
+        b = np.ones(N)
+        result = repro.solve(
+            matrix, algorithm="ridge", b=b, alpha=0.5, iterations=400, tol=1e-14
+        )
+        expected = np.linalg.solve(
+            dense.T @ dense + 0.5 * np.eye(N), dense.T @ b
+        )
+        assert result.algorithm == "ridge"
+        assert result.extras["alpha"] == 0.5
+        np.testing.assert_allclose(result.x, expected, atol=1e-6, rtol=1e-5)
+
+
+class TestTopkSubspace:
+    def test_singular_values_match_svd(self, built, dense):
+        _, matrix = built
+        result = repro.solve(
+            matrix, algorithm="topk", k=3, iterations=300, tol=1e-12
+        )
+        s = np.linalg.svd(dense, compute_uv=False)
+        np.testing.assert_allclose(
+            result.extras["singular_values"], s[:3], rtol=1e-5
+        )
+        # Orthonormal basis spanning the top-3 right-singular subspace.
+        v = np.asarray(result.x)
+        assert v.shape == (N, 3)
+        np.testing.assert_allclose(v.T @ v, np.eye(3), atol=1e-8)
+
+
+class TestTraces:
+    def test_every_result_carries_a_trace(self, built):
+        _, matrix = built
+        result = repro.solve(matrix, algorithm="power", iterations=5, tol=None)
+        assert len(result.trace) == 5
+        assert len(result.trace.seconds) == 5
+        assert all(s >= 0 for s in result.trace.seconds)
+        summary = result.trace.latency_summary()
+        assert summary["count"] == 5
+        assert set(summary) >= {"mean_ms", "p50_ms", "p90_ms", "p99_ms"}

@@ -1,0 +1,177 @@
+"""Unit tests for the iteration driver, traces, and the api front."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SolveError, UnknownAlgorithmError
+from repro.solve import available, get_algorithm
+from repro.solve.driver import (
+    SolveTrace,
+    check_iterations,
+    check_tol,
+    iterate,
+)
+from tests.conftest import make_structured
+
+
+class TestIterate:
+    def test_runs_to_cap_without_tol(self):
+        calls = []
+        trace, converged = iterate(lambda k: calls.append(k) or 1.0, 5, None)
+        assert calls == [0, 1, 2, 3, 4]
+        assert len(trace) == 5 and not converged
+
+    def test_early_stop_on_tol(self):
+        residuals = iter([1.0, 0.5, 1e-12, 99.0])
+        trace, converged = iterate(lambda _k: next(residuals), 10, 1e-9)
+        assert converged and len(trace) == 3
+        assert trace.residuals[-1] == 1e-12
+
+    def test_step_breakdown_stops_without_convergence(self):
+        def step(k):
+            if k == 2:
+                raise StopIteration
+            return 1.0
+
+        trace, converged = iterate(step, 10, 1e-9)
+        assert not converged and len(trace) == 2
+
+    def test_callback_sees_every_iteration_and_can_cancel(self):
+        seen = []
+
+        def callback(k, residual):
+            seen.append((k, residual))
+            if k == 1:
+                raise StopIteration
+
+        trace, converged = iterate(lambda _k: 1.0, 10, None, callback)
+        assert seen == [(0, 1.0), (1, 1.0)]
+        assert len(trace) == 2 and not converged
+
+    def test_validation(self):
+        with pytest.raises(SolveError):
+            check_iterations(0)
+        with pytest.raises(SolveError):
+            check_tol(-1.0)
+        with pytest.raises(SolveError):
+            check_tol(float("nan"))
+        assert check_tol(None) is None
+
+
+class TestSolveTrace:
+    def test_latency_summary_uses_serve_percentiles(self):
+        trace = SolveTrace()
+        for i in range(10):
+            trace.record(1.0 / (i + 1), 0.001 * (i + 1))
+        summary = trace.latency_summary()
+        assert summary["count"] == 10
+        assert summary["p50_ms"] <= summary["p90_ms"] <= summary["p99_ms"]
+        assert trace.total_seconds == pytest.approx(0.001 * 55)
+
+    def test_payload_is_json_serializable(self):
+        trace = SolveTrace()
+        trace.record(np.float64(0.5), 0.002)
+        payload = trace.to_payload()
+        json.dumps(payload)
+        assert payload["iterations"] == 1
+        assert payload["residuals"] == [0.5]
+
+
+class TestApiFront:
+    def test_available_names(self):
+        assert available() == ["power", "pagerank", "cg", "ridge", "topk"]
+
+    def test_unknown_algorithm_is_typed(self):
+        with pytest.raises(UnknownAlgorithmError) as excinfo:
+            get_algorithm("gradient_descent")
+        assert excinfo.value.algorithm == "gradient_descent"
+        with pytest.raises(UnknownAlgorithmError):
+            repro.solve(np.eye(3), algorithm="nope")
+
+    def test_module_is_callable(self, rng):
+        dense = make_structured(rng, n=20, m=6)
+        result = repro.solve(
+            repro.compress(dense, format="csrv"),
+            algorithm="power",
+            iterations=3,
+            tol=None,
+        )
+        assert result.iterations == 3
+
+    def test_ndarray_wrapped_as_dense(self, rng):
+        dense = make_structured(rng, n=20, m=6)
+        result = repro.solve(dense, algorithm="power", iterations=3, tol=None)
+        via_format = repro.solve(
+            repro.compress(dense, format="dense"),
+            algorithm="power",
+            iterations=3,
+            tol=None,
+        )
+        np.testing.assert_allclose(result.x, via_format.x)
+
+    def test_result_payload_round_trips_json(self, rng):
+        dense = make_structured(rng, n=20, m=6)
+        result = repro.solve(dense, algorithm="power", iterations=3, tol=None)
+        payload = result.to_payload()
+        json.dumps(payload)
+        assert payload["algorithm"] == "power"
+        assert len(payload["x"]) == 6
+        assert "latency" in payload["trace"]
+        slim = result.to_payload(include_x=False)
+        assert "x" not in slim
+
+
+class TestAlgorithmValidation:
+    def test_pagerank_requires_square(self, rng):
+        dense = make_structured(rng, n=20, m=6)
+        with pytest.raises(SolveError):
+            repro.solve(dense, algorithm="pagerank")
+
+    def test_pagerank_damping_range(self):
+        with pytest.raises(SolveError):
+            repro.solve(np.eye(4), algorithm="pagerank", damping=1.0)
+
+    def test_pagerank_rejects_hidden_negative_entries(self):
+        # Negative entries inside nonnegative row sums pass the cheap
+        # degree check but must fail during iteration, not return
+        # garbage silently.
+        matrix = np.array([[0.0, 2.0, -1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        with pytest.raises(SolveError, match="nonnegative"):
+            repro.solve(matrix, algorithm="pagerank")
+
+    def test_pagerank_personalization_validated(self):
+        with pytest.raises(SolveError):
+            repro.solve(
+                np.eye(4), algorithm="pagerank", personalization=[-1, 0, 0, 1]
+            )
+
+    def test_cg_b_length_checked(self, rng):
+        dense = make_structured(rng, n=20, m=6)
+        with pytest.raises(SolveError):
+            repro.solve(dense, algorithm="cg", b=np.ones(3))
+
+    def test_cg_zero_rhs_converges_to_zero(self):
+        result = repro.solve(
+            np.eye(4), algorithm="cg", b=np.zeros(4), iterations=5
+        )
+        assert result.converged
+        np.testing.assert_array_equal(result.x, np.zeros(4))
+
+    def test_ridge_alpha_positive(self, rng):
+        dense = make_structured(rng, n=20, m=6)
+        with pytest.raises(SolveError):
+            repro.solve(dense, algorithm="ridge", b=np.ones(20), alpha=0.0)
+
+    def test_topk_k_range(self, rng):
+        dense = make_structured(rng, n=20, m=6)
+        with pytest.raises(SolveError):
+            repro.solve(dense, algorithm="topk", k=7)
+
+    def test_power_zero_matrix_stable(self):
+        result = repro.solve(
+            np.zeros((4, 3)), algorithm="power", iterations=3, tol=None
+        )
+        np.testing.assert_array_equal(result.x, np.zeros(3))

@@ -1,0 +1,144 @@
+"""Unit tests for the job manager (no HTTP — the manager directly)."""
+
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ReproError,
+    SerializationError,
+    SolveError,
+    UnknownAlgorithmError,
+)
+from repro.io.serialize import save_matrix
+from repro.serve.jobs import JobManager
+from repro.serve.registry import MatrixRegistry
+from tests.conftest import make_structured
+
+
+def _wait(job, timeout: float = 10.0):
+    deadline = time.monotonic() + timeout
+    while not job.finished:
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job {job.id} did not finish: {job.status}")
+        time.sleep(0.01)
+    return job
+
+
+@pytest.fixture
+def registry(tmp_path, rng):
+    square = make_structured(rng, n=24, m=24, density=0.5)
+    save_matrix(repro.compress(np.abs(square), format="re_iv"), tmp_path / "sq.gcmx")
+    wide = make_structured(rng, n=30, m=8)
+    save_matrix(repro.compress(wide, format="csrv"), tmp_path / "wide.gcmx")
+    return MatrixRegistry(root=tmp_path)
+
+
+@pytest.fixture
+def manager(registry):
+    manager = JobManager(registry, workers=2)
+    yield manager
+    manager.close()
+
+
+class TestSubmission:
+    def test_lifecycle_submit_wait_result(self, manager):
+        job = manager.submit("pagerank", "sq", {"iterations": 100, "tol": 1e-10})
+        assert job.status in ("queued", "running", "done")
+        _wait(job)
+        assert job.status == "done"
+        assert job.result["algorithm"] == "pagerank"
+        assert job.result["converged"] is True
+        assert len(job.result["trace"]["residuals"]) == job.result["iterations"]
+        assert job.seconds is not None and job.finished_at >= job.started_at
+
+    def test_unknown_algorithm_typed(self, manager):
+        with pytest.raises(UnknownAlgorithmError):
+            manager.submit("nope", "sq")
+
+    def test_unknown_matrix_typed(self, manager):
+        with pytest.raises(SerializationError):
+            manager.submit("power", "nope")
+
+    def test_reserved_params_rejected(self, manager):
+        with pytest.raises(SolveError):
+            manager.submit("power", "sq", {"executor": "mine"})
+        with pytest.raises(SolveError):
+            # Clients must not override the server's retention policy.
+            manager.submit("power", "sq", {"retain_plans": True})
+
+    def test_bad_params_fail_the_job_not_the_worker(self, manager):
+        job = _wait(manager.submit("power", "sq", {"frobnicate": 7}))
+        assert job.status == "failed"
+        assert "frobnicate" in job.error
+        # The worker survived: a follow-up job still runs.
+        ok = _wait(manager.submit("power", "sq", {"iterations": 3, "tol": None}))
+        assert ok.status == "done"
+
+    def test_solver_error_recorded_on_job(self, manager):
+        # pagerank on a non-square matrix: a SolveError at run time.
+        job = _wait(manager.submit("pagerank", "wide"))
+        assert job.status == "failed"
+        assert "square" in job.error
+
+    def test_submit_after_close_rejected(self, registry):
+        manager = JobManager(registry)
+        manager.close()
+        with pytest.raises(ReproError):
+            manager.submit("power", "sq")
+
+    def test_jobs_follow_registry_plan_retention(self, tmp_path, rng):
+        # A server started with --no-plan-cache must not have jobs
+        # silently re-enable retention on its resident matrices.
+        square = np.abs(make_structured(rng, n=24, m=24, density=0.5))
+        save_matrix(repro.compress(square, format="re_ans"), tmp_path / "m.gcmx")
+        registry = MatrixRegistry(root=tmp_path, retain_plans=False)
+        manager = JobManager(registry)
+        try:
+            job = _wait(manager.submit("power", "m", {"iterations": 2, "tol": None}))
+            assert job.status == "done"
+            assert registry.get("m").plan_retained is False
+        finally:
+            manager.close()
+
+
+class TestAccounting:
+    def test_stats_counters(self, manager):
+        _wait(manager.submit("power", "sq", {"iterations": 2, "tol": None}))
+        _wait(manager.submit("pagerank", "wide"))  # fails (non-square)
+        stats = manager.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 1
+        assert stats["failed"] == 1
+        assert stats["workers"] == 2
+        assert stats["retained"] == 2
+
+    def test_describe_payloads(self, manager):
+        job = _wait(manager.submit("power", "sq", {"iterations": 2, "tol": None}))
+        full = job.describe()
+        assert full["id"] == job.id and "result" in full
+        slim = job.describe(include_result=False)
+        assert "result" not in slim
+
+    def test_get_and_jobs_listing(self, manager):
+        job = manager.submit("power", "sq", {"iterations": 2, "tol": None})
+        assert manager.get(job.id) is job
+        assert job in manager.jobs()
+        with pytest.raises(SerializationError):
+            manager.get("job-999")
+
+    def test_retained_records_trimmed(self, registry):
+        manager = JobManager(registry, max_jobs=2)
+        try:
+            jobs = [
+                _wait(manager.submit("power", "sq", {"iterations": 1, "tol": None}))
+                for _ in range(4)
+            ]
+            assert len(manager.jobs()) == 2
+            # Oldest finished records were dropped.
+            with pytest.raises(SerializationError):
+                manager.get(jobs[0].id)
+        finally:
+            manager.close()

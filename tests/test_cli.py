@@ -145,6 +145,15 @@ class TestServe:
         assert main(["serve", str(tmp_path)]) == 1
         assert "no .gcmx files" in capsys.readouterr().err
 
+    def test_bad_job_workers_fails_cleanly(self, dense_file, tmp_path, capsys):
+        src, _ = dense_file
+        main(["compress", str(src), str(tmp_path / "m.gcmx")])
+        capsys.readouterr()
+        assert main(
+            ["serve", str(tmp_path), "--port", "0", "--job-workers", "0"]
+        ) == 1
+        assert "job workers" in capsys.readouterr().err
+
     def test_serves_and_answers(self, dense_file, tmp_path, capsys):
         import json
         import urllib.request
@@ -171,3 +180,85 @@ class TestParser:
     def test_unknown_dataset(self):
         with pytest.raises(SystemExit):
             main(["bench", "imagenet"])
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_version_single_sourced_from_setup(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        version_file = (
+            Path(__file__).resolve().parent.parent
+            / "src" / "repro" / "_version.py"
+        )
+        match = re.search(r'__version__\s*=\s*"([^"]+)"', version_file.read_text())
+        assert match and match.group(1) == repro.__version__
+
+
+class TestSolve:
+    @pytest.fixture
+    def square_file(self, tmp_path, rng):
+        matrix = np.abs(make_structured(rng, n=24, m=24, density=0.5))
+        src = tmp_path / "sq.npy"
+        np.save(src, matrix)
+        blob = tmp_path / "sq.gcmx"
+        assert main(["compress", str(src), str(blob), "--format", "re_iv"]) == 0
+        return blob, matrix
+
+    def test_pagerank(self, square_file, tmp_path, capsys):
+        blob, matrix = square_file
+        capsys.readouterr()
+        out = tmp_path / "rank.npy"
+        assert main(
+            ["solve", "pagerank", str(blob), "--tol", "1e-12",
+             "--output", str(out)]
+        ) == 0
+        printed = capsys.readouterr().out
+        assert "pagerank" in printed and "converged" in printed
+        rank = np.load(out)
+        assert rank.sum() == pytest.approx(1.0)
+
+    def test_cg_with_rhs(self, square_file, tmp_path, capsys):
+        blob, matrix = square_file
+        b = np.ones(matrix.shape[0])
+        bpath = tmp_path / "b.npy"
+        np.save(bpath, b)
+        out = tmp_path / "x.npy"
+        assert main(
+            ["solve", "cg", str(blob), "--ridge", "0.5", "--b", str(bpath),
+             "--tol", "1e-14", "--output", str(out)]
+        ) == 0
+        expected = np.linalg.solve(
+            matrix.T @ matrix + 0.5 * np.eye(matrix.shape[1]), matrix.T @ b
+        )
+        assert np.allclose(np.load(out), expected, atol=1e-6)
+
+    def test_topk(self, square_file, capsys):
+        blob, matrix = square_file
+        capsys.readouterr()
+        assert main(["solve", "topk", str(blob), "--k", "2"]) == 0
+        assert "singular_values" in capsys.readouterr().out
+
+    def test_solver_error_reported(self, dense_file, tmp_path, capsys):
+        # pagerank on a non-square matrix: clean exit 1, typed message.
+        src, _ = dense_file
+        blob = tmp_path / "m.gcmx"
+        main(["compress", str(src), str(blob)])
+        capsys.readouterr()
+        assert main(["solve", "pagerank", str(blob)]) == 1
+        assert "square" in capsys.readouterr().err
+
+    def test_unknown_algorithm_rejected_by_parser(self, square_file):
+        blob, _ = square_file
+        with pytest.raises(SystemExit):
+            main(["solve", "frobnicate", str(blob)])
