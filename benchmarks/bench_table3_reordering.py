@@ -79,7 +79,7 @@ def main() -> None:
         for k in K_VALUES:
             csm = prune_local(csm_full, k)
             row = [f"{name} k={k}"]
-            for algo_name, algo in ALGORITHMS.items():
+            for algo in ALGORITHMS.values():
                 t0 = time.perf_counter()
                 order = algo(csm)
                 elapsed = time.perf_counter() - t0

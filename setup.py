@@ -23,4 +23,5 @@ setup(
     version=_match.group(1),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
 )

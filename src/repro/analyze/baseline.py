@@ -1,0 +1,102 @@
+"""The committed-findings baseline and its ratchet semantics.
+
+``analysis/baseline.json`` records the findings that existed when the
+analyzer landed — debt that is acknowledged but not yet paid down.  The
+ratchet works like the coverage gate: a finding **not** in the baseline
+fails the run (new debt is rejected), a baselined finding that no
+longer fires is reported as *stale* so the file can be shrunk (debt
+only goes down).  ``--write-baseline`` regenerates the file from the
+current findings; ``--strict-baseline`` turns stale entries into a
+failure too, for CI jobs that want the file exact.
+
+Baseline entries match findings by :attr:`Finding.key` — rule, path,
+scope and detail, **not** line number — so unrelated edits that shift
+lines don't invalidate the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.findings import Finding
+from repro.errors import ReproError
+
+BASELINE_VERSION = 1
+
+#: Default committed location, relative to the repo root.
+DEFAULT_BASELINE = Path("analysis") / "baseline.json"
+
+
+@dataclass
+class Baseline:
+    """The set of acknowledged findings, keyed by :attr:`Finding.key`."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> Baseline:
+        return cls(entries={f.key: f.to_payload() for f in findings})
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[str]]:
+        """Partition a run's findings against the baseline.
+
+        Returns ``(new, stale)``: findings whose key is absent from the
+        baseline (these fail the ratchet), and baseline keys that no
+        longer fire (candidates for deletion from the file).
+        """
+        seen: set[str] = set()
+        new: list[Finding] = []
+        for finding in findings:
+            if finding.key in self.entries:
+                seen.add(finding.key)
+            else:
+                new.append(finding)
+        stale = sorted(k for k in self.entries if k not in seen)
+        return new, stale
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file (empty baseline when the file is absent)."""
+    if not path.exists():
+        return Baseline(path=path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ReproError(
+            f"malformed baseline {path}: expected an object with a "
+            "'findings' list"
+        )
+    entries: dict[str, dict] = {}
+    for item in payload["findings"]:
+        finding = Finding(
+            rule=item["rule"],
+            path=item["path"],
+            line=int(item.get("line", 0)),
+            scope=item.get("scope", ""),
+            detail=item.get("detail", ""),
+            message=item.get("message", ""),
+        )
+        entries[finding.key] = finding.to_payload()
+    return Baseline(entries=entries, path=path)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Regenerate the baseline file from the current findings."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Acknowledged repro-analyze findings. The CI gate fails on "
+            "findings missing from this file; entries here may only be "
+            "removed (fix the code or add an inline waiver), never "
+            "grown by hand. Regenerate with: "
+            "repro analyze src --write-baseline"
+        ),
+        "findings": [f.to_payload() for f in findings],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,172 @@
+"""Command-line driver for ``repro analyze`` / ``python -m repro.analyze``.
+
+Exit status is the contract CI keys off:
+
+- ``0`` — no findings outside the baseline (and, under
+  ``--strict-baseline``, no stale baseline entries either);
+- ``1`` — new findings (or stale entries in strict mode);
+- ``2`` — usage / environment errors (bad rule id, unreadable path).
+
+``add_arguments`` is shared with the package CLI so ``repro analyze``
+and the module entry point accept identical flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analyze.baseline import DEFAULT_BASELINE, load_baseline, write_baseline
+from repro.analyze.engine import ALL_RULES, run_analysis
+from repro.errors import ReproError
+
+
+def _rule_list(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Register the analyze flags on ``parser`` (shared with `repro` CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=_rule_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all of "
+        f"{','.join(ALL_RULES)})",
+    )
+    parser.add_argument(
+        "--disable",
+        type=_rule_list,
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: report and gate on every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="also fail when baseline entries no longer fire (stale debt)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the full JSON report to FILE (CI artifact)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute an analyze run described by parsed ``args``."""
+    try:
+        report = run_analysis(
+            list(args.paths), select=args.select, disable=args.disable
+        )
+    except ReproError as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+    if args.write_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(
+            f"wrote baseline with {len(report.findings)} finding(s) "
+            f"to {baseline_path}"
+        )
+        return 0
+
+    if args.no_baseline:
+        new, stale = list(report.findings), []
+        baselined = 0
+    else:
+        baseline = load_baseline(baseline_path)
+        new, stale = baseline.split(report.findings)
+        baselined = len(report.findings) - len(new)
+
+    failed = bool(new) or bool(report.parse_errors)
+    if args.strict_baseline and stale:
+        failed = True
+
+    payload = report.to_payload()
+    payload["baseline"] = {
+        "path": str(baseline_path),
+        "matched": baselined,
+        "new": [f.to_payload() for f in new],
+        "stale": stale,
+    }
+    payload["failed"] = failed
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if args.output_format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        _render_text(report, new, stale, baselined)
+    return 1 if failed else 0
+
+
+def _render_text(report, new, stale, baselined) -> None:
+    for error in report.parse_errors:
+        print(f"PARSE ERROR: {error}")
+    for finding in new:
+        print(finding.render())
+    summary = (
+        f"{report.files_scanned} file(s) scanned, "
+        f"{len(report.findings)} finding(s): {len(new)} new, "
+        f"{baselined} baselined"
+    )
+    if stale:
+        summary += f", {len(stale)} stale baseline entr(y/ies)"
+    print(summary)
+    for key in stale:
+        print(f"  stale baseline entry (fixed? shrink the file): {key}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Project-specific static analysis for the repro package.",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_from_args(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ class _ScipyBackedMatrix(MatrixFormat):
         self._csr = sparse.csr_matrix(matrix)
 
     @classmethod
-    def from_scipy(cls, matrix) -> "_ScipyBackedMatrix":
+    def from_scipy(cls, matrix) -> _ScipyBackedMatrix:
         """Wrap an existing scipy sparse matrix without densifying.
 
         The deserialization entry point: the payload stores the CSR

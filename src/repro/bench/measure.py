@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import tracemalloc
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ between the real-pool and simulated modes.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

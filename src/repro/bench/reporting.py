@@ -7,7 +7,7 @@ dense representation.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def ratio_pct(part: float, whole: float) -> float:

@@ -66,7 +66,7 @@ class _ColumnGroupBase:
             raise MatrixFormatError("a column group needs at least one column")
 
     @classmethod
-    def from_dense(cls, matrix: np.ndarray, columns) -> "_ColumnGroupBase":
+    def from_dense(cls, matrix: np.ndarray, columns) -> _ColumnGroupBase:
         """Encode the given columns of ``matrix`` in this format."""
         raise NotImplementedError
 
@@ -104,7 +104,7 @@ class ColumnGroupDDC(_ColumnGroupBase):
         self.codes = np.asarray(codes, dtype=np.int64)
 
     @classmethod
-    def from_dense(cls, matrix: np.ndarray, columns) -> "ColumnGroupDDC":
+    def from_dense(cls, matrix: np.ndarray, columns) -> ColumnGroupDDC:
         columns = np.asarray(columns, dtype=np.int64)
         sub = np.ascontiguousarray(matrix[:, columns])
         dictionary, codes = _group_dictionary(sub)
@@ -140,7 +140,7 @@ class ColumnGroupOLE(_ColumnGroupBase):
         self.tuple_of_pos = np.asarray(tuple_of_pos, dtype=np.int64)
 
     @classmethod
-    def from_dense(cls, matrix: np.ndarray, columns) -> "ColumnGroupOLE":
+    def from_dense(cls, matrix: np.ndarray, columns) -> ColumnGroupOLE:
         columns = np.asarray(columns, dtype=np.int64)
         sub = np.ascontiguousarray(matrix[:, columns])
         dictionary, codes = _group_dictionary(sub)
@@ -204,7 +204,7 @@ class ColumnGroupRLE(_ColumnGroupBase):
         self.run_tuples = np.asarray(run_tuples, dtype=np.int64)
 
     @classmethod
-    def from_dense(cls, matrix: np.ndarray, columns) -> "ColumnGroupRLE":
+    def from_dense(cls, matrix: np.ndarray, columns) -> ColumnGroupRLE:
         columns = np.asarray(columns, dtype=np.int64)
         sub = np.ascontiguousarray(matrix[:, columns])
         dictionary, codes = _group_dictionary(sub)
@@ -261,7 +261,7 @@ class ColumnGroupRLE(_ColumnGroupBase):
 
     def to_dense_block(self) -> np.ndarray:
         block = np.zeros((self.n_rows, self.columns.size), dtype=np.float64)
-        for s, e, t in zip(self.run_starts, self.run_ends, self.run_tuples):
+        for s, e, t in zip(self.run_starts, self.run_ends, self.run_tuples, strict=True):
             block[s:e] = self.dictionary[t]
         return block
 
@@ -276,7 +276,7 @@ class ColumnGroupUC(_ColumnGroupBase):
         self.block = np.asarray(block, dtype=np.float64)
 
     @classmethod
-    def from_dense(cls, matrix: np.ndarray, columns) -> "ColumnGroupUC":
+    def from_dense(cls, matrix: np.ndarray, columns) -> ColumnGroupUC:
         columns = np.asarray(columns, dtype=np.int64)
         return cls(
             columns, matrix.shape[0], np.ascontiguousarray(matrix[:, columns])

@@ -70,7 +70,7 @@ class CLAMatrix(MatrixFormat):
         max_group_size: int = 8,
         window: int = 12,
         seed: int = 0,
-    ) -> "CLAMatrix":
+    ) -> CLAMatrix:
         """Plan, co-code and encode ``matrix``.
 
         See :func:`repro.cla.planner.plan_column_groups` for the

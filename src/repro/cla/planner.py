@@ -132,5 +132,5 @@ def plan_column_groups(
             i += 1
     return [
         GroupPlan(columns=tuple(sorted(g)), estimated_bytes=c)
-        for g, c in zip(groups, costs)
+        for g, c in zip(groups, costs, strict=True)
     ]

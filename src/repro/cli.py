@@ -39,6 +39,11 @@ Commands
     (``/matrices``, ``/multiply``, ``/jobs``, ``/stats`` — see
     :mod:`repro.serve.server`).  ``--job-workers N`` sets how many
     asynchronous solver jobs run concurrently.
+``analyze [PATHS...]``
+    Run the project-specific static-analysis suite
+    (:mod:`repro.analyze` — capability flags, kind tags, lock
+    discipline, exception boundaries, kernel contracts) against the
+    committed baseline in ``analysis/baseline.json``.
 
 ``repro --version`` prints the package version
 (:mod:`repro._version`, the same figure ``/stats`` reports).
@@ -374,6 +379,12 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analyze.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_serve(args) -> int:
     from repro.serve.registry import MatrixRegistry
     from repro.serve.server import MatrixServer
@@ -587,6 +598,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="background workers for asynchronous /jobs solver runs",
     )
     p.set_defaults(fn=_cmd_serve)
+
+    from repro.analyze.cli import add_arguments as _add_analyze_arguments
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the project-specific static-analysis suite",
+    )
+    _add_analyze_arguments(p)
+    p.set_defaults(fn=_cmd_analyze)
 
     return parser
 

@@ -74,7 +74,7 @@ class BlockedMatrix(MatrixFormat):
         max_rules: int | None = None,
         column_orders: list | None = None,
         strategy: str = "exact",
-    ) -> "BlockedMatrix":
+    ) -> BlockedMatrix:
         """Partition ``source`` into row blocks and compress each one.
 
         Parameters
@@ -128,7 +128,7 @@ class BlockedMatrix(MatrixFormat):
         min_frequency: int,
         max_rules: int | None,
         strategy: str = "exact",
-    ) -> "BlockedMatrix":
+    ) -> BlockedMatrix:
         # One global CSRV first, so every block shares the single value
         # array V and its code space (Section 4.1); the per-block
         # permutations then only re-lay-out pairs inside each row.
@@ -143,7 +143,7 @@ class BlockedMatrix(MatrixFormat):
                 part.with_column_order(order), variant, min_frequency,
                 max_rules, strategy,
             )
-            for part, order in zip(parts, column_orders)
+            for part, order in zip(parts, column_orders, strict=True)
         ]
         return cls(blocks, dense.shape)
 
@@ -262,9 +262,10 @@ class BlockedMatrix(MatrixFormat):
 
     def enable_plan_retention(self, retain: bool = True) -> bool:
         """Forward plan retention to every block; ``True`` if any took it."""
-        return any(
-            [b.enable_plan_retention(retain) for b in self._blocks]
-        )
+        # Materialized first: every block must see the call, so the
+        # short-circuiting ``any`` may not consume a lazy generator.
+        took = [b.enable_plan_retention(retain) for b in self._blocks]
+        return any(took)
 
     def release_retained_plans(self) -> None:
         """Forward plan release to every block (registry eviction path)."""

@@ -20,7 +20,7 @@ Both multiplication directions are single scans of ``S``
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class CSRVMatrix(MatrixFormat):
         cls,
         matrix: np.ndarray,
         column_order: Sequence[int] | np.ndarray | None = None,
-    ) -> "CSRVMatrix":
+    ) -> CSRVMatrix:
         """Build the CSRV representation of a dense matrix.
 
         Parameters
@@ -91,7 +91,7 @@ class CSRVMatrix(MatrixFormat):
         return cls._from_coo_ordered(rows, cols, vals, (n, m))
 
     @classmethod
-    def from_scipy(cls, matrix) -> "CSRVMatrix":
+    def from_scipy(cls, matrix) -> CSRVMatrix:
         """Build from any scipy.sparse matrix (zeros are dropped)."""
         from scipy import sparse
 
@@ -105,7 +105,7 @@ class CSRVMatrix(MatrixFormat):
         cols: np.ndarray,
         vals: np.ndarray,
         shape: tuple[int, int],
-    ) -> "CSRVMatrix":
+    ) -> CSRVMatrix:
         """Build from COO triplets (need not be sorted; ties keep order)."""
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
@@ -129,7 +129,7 @@ class CSRVMatrix(MatrixFormat):
         cols: np.ndarray,
         vals: np.ndarray,
         shape: tuple[int, int],
-    ) -> "CSRVMatrix":
+    ) -> CSRVMatrix:
         """Internal: triplets already sorted by row (ties in layout order)."""
         n, m = shape
         values, value_idx = np.unique(vals, return_inverse=True)
@@ -281,7 +281,7 @@ class CSRVMatrix(MatrixFormat):
         contrib = self._values[l_idx] * y[rows]
         return np.bincount(j_idx, weights=contrib, minlength=self._shape[1])
 
-    def with_column_order(self, column_order) -> "CSRVMatrix":
+    def with_column_order(self, column_order) -> CSRVMatrix:
         """Re-lay-out each row's pairs following a column permutation.
 
         Unlike :meth:`from_dense` with ``column_order`` this keeps the

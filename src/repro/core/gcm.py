@@ -110,7 +110,7 @@ class GrammarCompressedMatrix(MatrixFormat):
         min_frequency: int = 2,
         max_rules: int | None = None,
         strategy: str = "exact",
-    ) -> "GrammarCompressedMatrix":
+    ) -> GrammarCompressedMatrix:
         """Grammar-compress a matrix (dense array or CSRV form).
 
         Runs the separator-aware RePair of Section 3 over the CSRV
@@ -139,7 +139,7 @@ class GrammarCompressedMatrix(MatrixFormat):
         values: np.ndarray,
         shape: tuple[int, int],
         variant: str = "re_32",
-    ) -> "GrammarCompressedMatrix":
+    ) -> GrammarCompressedMatrix:
         """Wrap an existing grammar in the requested physical encoding."""
         c = grammar.final
         r_flat = grammar.rules.ravel()

@@ -98,7 +98,7 @@ class MvmPlan:
     c_nt_ref: np.ndarray
 
     @classmethod
-    def from_grammar(cls, grammar: Grammar, n_cols: int) -> "MvmPlan":
+    def from_grammar(cls, grammar: Grammar, n_cols: int) -> MvmPlan:
         """Build the level schedule and final-string decomposition."""
         n_cols = int(n_cols)
         c_parts = _decompose_final(grammar, n_cols)
@@ -154,7 +154,7 @@ class PlanCache:
     residency accounting.
     """
 
-    def __init__(self, max_plans: int = 64):
+    def __init__(self, max_plans: int = 64) -> None:
         if max_plans < 1:
             raise MatrixFormatError(f"max_plans must be >= 1, got {max_plans}")
         self._max_plans = int(max_plans)
@@ -212,7 +212,7 @@ class PlanCache:
         with self._lock:
             self._plans.clear()
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Counters for introspection/serving stats."""
         with self._lock:
             return {
@@ -250,7 +250,7 @@ class MvmEngine:
         grammar: Grammar | None,
         n_cols: int | None = None,
         plan: MvmPlan | None = None,
-    ):
+    ) -> None:
         if plan is None:
             if grammar is None or n_cols is None:
                 raise MatrixFormatError(
@@ -269,7 +269,7 @@ class MvmEngine:
         self._c_nt_ref = plan.c_nt_ref
 
     @classmethod
-    def from_plan(cls, plan: MvmPlan) -> "MvmEngine":
+    def from_plan(cls, plan: MvmPlan) -> MvmEngine:
         """Wrap a prebuilt (typically cached) plan — no grammar needed."""
         return cls(None, plan=plan)
 

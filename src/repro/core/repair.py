@@ -345,6 +345,7 @@ def _repair_batch(
             zip(
                 (winner_codes // stride).tolist(),
                 (winner_codes % stride).tolist(),
+                strict=True,
             )
         )
         next_symbol += int(winner_ranks.size)

@@ -14,7 +14,7 @@ vectorised, which is what the matrix-vector multiplication kernels use.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -137,7 +137,7 @@ class IntVector:
         return header + self._words.tobytes()
 
     @classmethod
-    def from_bytes(cls, data: bytes) -> "IntVector":
+    def from_bytes(cls, data: bytes) -> IntVector:
         """Inverse of :meth:`to_bytes`."""
         if len(data) < cls.HEADER_BYTES:
             raise EncodingError("IntVector blob truncated (no header)")

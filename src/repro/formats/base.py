@@ -33,7 +33,8 @@ by name instead of by type.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Callable, Iterator
+from typing import Any
 
 import numpy as np
 
@@ -117,7 +118,9 @@ class MatrixFormat:
 
     # -- single-vector kernels -----------------------------------------------------
 
-    def right_multiply(self, x, threads: int = 1, executor=None) -> np.ndarray:
+    def right_multiply(
+        self, x: Any, threads: int = 1, executor: Any = None
+    ) -> np.ndarray:
         """Compute ``y = M x``.
 
         ``threads``/``executor`` are forwarded to representations that
@@ -128,21 +131,29 @@ class MatrixFormat:
         check_threads(threads)
         return self._right_vector(x, threads, executor)
 
-    def left_multiply(self, y, threads: int = 1, executor=None) -> np.ndarray:
+    def left_multiply(
+        self, y: Any, threads: int = 1, executor: Any = None
+    ) -> np.ndarray:
         """Compute ``xᵗ = yᵗ M`` (same conventions as :meth:`right_multiply`)."""
         y = check_vector(y, self.shape[0], "y")
         check_threads(threads)
         return self._left_vector(y, threads, executor)
 
-    def transpose_multiply(self, y, threads: int = 1, executor=None) -> np.ndarray:
+    def transpose_multiply(
+        self, y: Any, threads: int = 1, executor: Any = None
+    ) -> np.ndarray:
         """``Mᵗ y`` — an alias for :meth:`left_multiply` (``yᵗM = (Mᵗy)ᵗ``)."""
         return self.left_multiply(y, threads=threads, executor=executor)
 
-    def _right_vector(self, x: np.ndarray, threads: int, executor) -> np.ndarray:
+    def _right_vector(
+        self, x: np.ndarray, threads: int, executor: Any
+    ) -> np.ndarray:
         """One validated right multiplication (subclass hook)."""
         raise NotImplementedError
 
-    def _left_vector(self, y: np.ndarray, threads: int, executor) -> np.ndarray:
+    def _left_vector(
+        self, y: np.ndarray, threads: int, executor: Any
+    ) -> np.ndarray:
         """One validated left multiplication (subclass hook)."""
         raise NotImplementedError
 
@@ -150,10 +161,10 @@ class MatrixFormat:
 
     def right_multiply_matrix(
         self,
-        x_block,
+        x_block: Any,
         out: np.ndarray | None = None,
         threads: int = 1,
-        executor=None,
+        executor: Any = None,
         panel_width: int | None = None,
     ) -> np.ndarray:
         """Compute ``Y = M X`` for an ``(m, k)`` block of vectors.
@@ -173,10 +184,10 @@ class MatrixFormat:
 
     def left_multiply_matrix(
         self,
-        y_block,
+        y_block: Any,
         out: np.ndarray | None = None,
         threads: int = 1,
-        executor=None,
+        executor: Any = None,
         panel_width: int | None = None,
     ) -> np.ndarray:
         """Compute ``Xᵗ = Yᵗ M`` for an ``(n, k)`` block of vectors."""
@@ -188,7 +199,9 @@ class MatrixFormat:
             kernel(panel[:, lo:hi], out[:, lo:hi])
         return out
 
-    def _right_panel_kernel(self, threads: int, executor):
+    def _right_panel_kernel(
+        self, threads: int, executor: Any
+    ) -> Callable[[np.ndarray, np.ndarray], None]:
         """Return ``kernel(panel, out)`` for right panels.
 
         Fallback: one :meth:`_right_vector` call per column — correct
@@ -204,7 +217,9 @@ class MatrixFormat:
 
         return kernel
 
-    def _left_panel_kernel(self, threads: int, executor):
+    def _left_panel_kernel(
+        self, threads: int, executor: Any
+    ) -> Callable[[np.ndarray, np.ndarray], None]:
         """Return ``kernel(panel, out)`` for left panels (see above)."""
 
         def kernel(panel: np.ndarray, out: np.ndarray) -> None:
@@ -217,14 +232,14 @@ class MatrixFormat:
 
     # -- operator sugar ------------------------------------------------------------
 
-    def __matmul__(self, other) -> np.ndarray:
+    def __matmul__(self, other: Any) -> np.ndarray:
         """``M @ x`` (vector) or ``M @ X`` (``(m, k)`` panel)."""
         arr = _operand(other, "right operand of @")
         if arr.ndim == 1:
             return self.right_multiply(arr)
         return self.right_multiply_matrix(arr)
 
-    def __rmatmul__(self, other) -> np.ndarray:
+    def __rmatmul__(self, other: Any) -> np.ndarray:
         """``y @ M`` (vector) or ``Y @ M`` with ``Y`` of shape ``(k, n)``.
 
         Follows the numpy convention: a 2-D left operand of shape
@@ -241,7 +256,7 @@ class MatrixFormat:
 # -- shared validation helpers -------------------------------------------------------
 
 
-def check_vector(vec, expected: int, name: str) -> np.ndarray:
+def check_vector(vec: Any, expected: int, name: str) -> np.ndarray:
     """Validate a multiplication operand and coerce it to float64."""
     try:
         vec = np.asarray(vec, dtype=np.float64).ravel()
@@ -254,7 +269,7 @@ def check_vector(vec, expected: int, name: str) -> np.ndarray:
     return vec
 
 
-def check_panel(panel, expected_rows: int, name: str) -> np.ndarray:
+def check_panel(panel: Any, expected_rows: int, name: str) -> np.ndarray:
     """Validate a panel operand: float64, 2-D, ``(expected_rows, k)``."""
     try:
         panel = np.asarray(panel, dtype=np.float64)
@@ -302,7 +317,7 @@ def _panel_chunks(k: int, panel_width: int | None) -> Iterator[tuple[int, int]]:
         yield lo, min(k, lo + panel_width)
 
 
-def _operand(other, name: str) -> np.ndarray:
+def _operand(other: Any, name: str) -> np.ndarray:
     """Coerce an ``@`` operand, raising the package's error type."""
     try:
         arr = np.asarray(other, dtype=np.float64)

@@ -20,7 +20,8 @@ without modification.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import MatrixFormatError, UnknownKindError
 
@@ -132,7 +133,7 @@ def get(name: str) -> FormatSpec:
     return spec
 
 
-def spec_for(matrix) -> FormatSpec:
+def spec_for(matrix: Any) -> FormatSpec:
     """Spec of an existing representation instance."""
     _ensure_builtin()
     name = getattr(matrix, "format_name", "")
@@ -158,7 +159,7 @@ def by_kind(kind: int) -> FormatSpec:
     return spec
 
 
-def compress(source, format: str = "re_ans", **opts):
+def compress(source: Any, format: str = "re_ans", **opts: Any) -> Any:
     """Build any registered representation from a dense matrix.
 
     The single entry point the CLI, benchmarks and tests use::

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import contextlib
 import struct
+from collections.abc import Callable, Iterator
+from typing import Any
 
 import numpy as np
 
@@ -84,7 +86,7 @@ _BARE_DECODE_ERRORS = (
 
 
 @contextlib.contextmanager
-def _payload_guard(kind: int, action: str):
+def _payload_guard(kind: int, action: str) -> Iterator[None]:
     """Re-raise payload decode failures as typed serialization errors."""
     try:
         yield
@@ -101,7 +103,7 @@ def _payload_guard(kind: int, action: str):
 # -- public API ---------------------------------------------------------------------
 
 
-def saves_matrix(matrix) -> bytes:
+def saves_matrix(matrix: Any) -> bytes:
     """Serialize any registered matrix representation to bytes."""
     from repro import formats
 
@@ -118,7 +120,7 @@ def saves_matrix(matrix) -> bytes:
     return _header(spec.kind) + spec.encode(matrix)
 
 
-def loads_matrix(data: bytes):
+def loads_matrix(data: bytes) -> Any:
     """Inverse of :func:`saves_matrix`."""
     from repro import formats
 
@@ -133,13 +135,13 @@ def loads_matrix(data: bytes):
     return matrix
 
 
-def save_matrix(matrix, path) -> None:
+def save_matrix(matrix: Any, path: Any) -> None:
     """Serialize to a file."""
     with open(path, "wb") as fh:
         fh.write(saves_matrix(matrix))
 
 
-def load_matrix(path):
+def load_matrix(path: Any) -> Any:
     """Deserialize from a file."""
     with open(path, "rb") as fh:
         return loads_matrix(fh.read())
@@ -171,7 +173,7 @@ def peek_matrix_info(data: bytes) -> dict:
         return spec.peek(data, pos)
 
 
-def read_matrix_info(path) -> dict:
+def read_matrix_info(path: Any) -> dict:
     """:func:`peek_matrix_info` for a file, plus its ``file_bytes``.
 
     Reads only a small prefix — listing a directory of large ``.gcmx``
@@ -256,7 +258,7 @@ def _get_shape(data: bytes, pos: int) -> tuple[tuple[int, int], int]:
     return (n, m), pos
 
 
-def _peek_shape_only(kind_name: str):
+def _peek_shape_only(kind_name: str) -> Callable[[bytes, int], dict]:
     """Peek function for payloads that lead with the two shape varints."""
 
     def peek(data: bytes, pos: int) -> dict:
@@ -278,7 +280,9 @@ def csrv_payload(matrix: CSRVMatrix, include_values: bool = True) -> bytes:
     return bytes(out)
 
 
-def read_csrv(data: bytes, pos: int, values=None) -> tuple[CSRVMatrix, int]:
+def read_csrv(
+    data: bytes, pos: int, values: np.ndarray | None = None
+) -> tuple[CSRVMatrix, int]:
     shape, pos = _get_shape(data, pos)
     if values is None:
         values, pos = _get_floats(data, pos)
@@ -316,7 +320,9 @@ def gcm_payload(matrix: GrammarCompressedMatrix, include_values: bool = True) ->
     return bytes(out)
 
 
-def read_gcm(data: bytes, pos: int, values=None) -> tuple[GrammarCompressedMatrix, int]:
+def read_gcm(
+    data: bytes, pos: int, values: np.ndarray | None = None
+) -> tuple[GrammarCompressedMatrix, int]:
     if pos >= len(data):
         raise SerializationError("truncated GCM payload")
     tag = data[pos]
@@ -396,13 +402,15 @@ def blocked_payload(matrix: BlockedMatrix) -> bytes:
     out += _put_floats(blocks[0].values)
     for block in blocks:
         kind = formats.spec_for(block).kind
-        encoder = _BLOCK_ENCODERS.get(kind)
-        if encoder is None:
+        # ``kind`` is ``int | None`` — a block whose spec registers no
+        # kind tag must fail with the typed error here, not reach
+        # ``bytearray.append(None)`` below.
+        if kind is None or kind not in _BLOCK_ENCODERS:
             raise SerializationError(
                 f"cannot serialize block of type {type(block).__name__}"
             )
         out.append(kind)
-        out += encoder(block)
+        out += _BLOCK_ENCODERS[kind](block)
     return bytes(out)
 
 
@@ -435,12 +443,12 @@ def peek_blocked(data: bytes, pos: int) -> dict:
 # -- dense -----------------------------------------------------------------------------
 
 
-def dense_payload(matrix) -> bytes:
+def dense_payload(matrix: Any) -> bytes:
     dense = matrix.to_dense()
     return _put_shape(matrix.shape) + _put_floats(dense.ravel())
 
 
-def read_dense(data: bytes, pos: int):
+def read_dense(data: bytes, pos: int) -> tuple[Any, int]:
     from repro.baselines.dense import DenseMatrix
 
     shape, pos = _get_shape(data, pos)
@@ -458,7 +466,7 @@ peek_dense = _peek_shape_only("dense")
 # -- CSR / CSR-IV ----------------------------------------------------------------------
 
 
-def csr_payload(matrix) -> bytes:
+def csr_payload(matrix: Any) -> bytes:
     """Shared payload of the scipy-backed CSR family: the raw triplet."""
     csr = matrix.scipy_csr()
     out = bytearray()
@@ -470,7 +478,7 @@ def csr_payload(matrix) -> bytes:
     return bytes(out)
 
 
-def _read_csr_arrays(data: bytes, pos: int):
+def _read_csr_arrays(data: bytes, pos: int) -> tuple[Any, int]:
     from scipy import sparse
 
     shape, pos = _get_shape(data, pos)
@@ -483,21 +491,21 @@ def _read_csr_arrays(data: bytes, pos: int):
     return sparse.csr_matrix((values, indices, indptr), shape=shape), pos
 
 
-def read_csr(data: bytes, pos: int):
+def read_csr(data: bytes, pos: int) -> tuple[Any, int]:
     from repro.baselines.csr import CSRMatrix
 
     csr, pos = _read_csr_arrays(data, pos)
     return CSRMatrix.from_scipy(csr), pos
 
 
-def read_csr_iv(data: bytes, pos: int):
+def read_csr_iv(data: bytes, pos: int) -> tuple[Any, int]:
     from repro.baselines.csr import CSRIVMatrix
 
     csr, pos = _read_csr_arrays(data, pos)
     return CSRIVMatrix.from_scipy(csr), pos
 
 
-def _peek_csr(kind_name: str):
+def _peek_csr(kind_name: str) -> Callable[[bytes, int], dict]:
     def peek(data: bytes, pos: int) -> dict:
         shape, pos = _get_shape(data, pos)
         nnz, _ = decode_uvarint(data, pos)
@@ -513,7 +521,7 @@ peek_csr_iv = _peek_csr("csr_iv")
 # -- CLA -------------------------------------------------------------------------------
 
 
-def cla_payload(matrix) -> bytes:
+def cla_payload(matrix: Any) -> bytes:
     out = bytearray()
     out += _put_shape(matrix.shape)
     out += encode_uvarint(len(matrix.groups))
@@ -545,7 +553,7 @@ def cla_payload(matrix) -> bytes:
     return bytes(out)
 
 
-def read_cla(data: bytes, pos: int):
+def read_cla(data: bytes, pos: int) -> tuple[Any, int]:
     from repro.cla.colgroup import (
         ColumnGroupDDC,
         ColumnGroupOLE,
@@ -618,7 +626,7 @@ class ShardManifestEntry:
     __slots__ = ("index", "row_start", "n_rows", "offset", "length")
 
     def __init__(self, index: int, row_start: int, n_rows: int,
-                 offset: int, length: int):
+                 offset: int, length: int) -> None:
         self.index = index
         self.row_start = row_start
         self.n_rows = n_rows
@@ -633,14 +641,14 @@ class ShardManifestEntry:
         )
 
 
-def sharded_payload(matrix) -> bytes:
+def sharded_payload(matrix: Any) -> bytes:
     """Manifest + one nested GCMX blob per shard."""
     shards = matrix.shards
     blobs = [saves_matrix(s) for s in shards]
     out = bytearray()
     out += _put_shape(matrix.shape)
     out += encode_uvarint(len(blobs))
-    for shard, blob in zip(shards, blobs):
+    for shard, blob in zip(shards, blobs, strict=True):
         out += encode_uvarint(int(shard.shape[0]))
         out += encode_uvarint(len(blob))
     for blob in blobs:
@@ -648,7 +656,9 @@ def sharded_payload(matrix) -> bytes:
     return bytes(out)
 
 
-def _read_shard_table(data: bytes, pos: int):
+def _read_shard_table(
+    data: bytes, pos: int
+) -> tuple[tuple[int, int], list[ShardManifestEntry], int]:
     """Parse the manifest: ``(shape, entries, first_section_pos)``."""
     shape, pos = _get_shape(data, pos)
     n_shards, pos = decode_uvarint(data, pos)
@@ -671,7 +681,7 @@ def _read_shard_table(data: bytes, pos: int):
     return shape, entries, pos
 
 
-def read_sharded(data: bytes, pos: int):
+def read_sharded(data: bytes, pos: int) -> tuple[Any, int]:
     from repro.shard.matrix import ShardedMatrix
 
     shape, entries, _ = _read_shard_table(data, pos)
@@ -694,7 +704,9 @@ def peek_sharded(data: bytes, pos: int) -> dict:
     return {"kind": "sharded", "shape": shape, "n_shards": n_shards}
 
 
-def read_shard_manifest(path):
+def read_shard_manifest(
+    path: Any,
+) -> tuple[tuple[int, int], list[ShardManifestEntry]]:
     """``(shape, [ShardManifestEntry, ...])`` from a sharded container file.
 
     Reads only the manifest region — shard sections are not touched —
@@ -724,13 +736,13 @@ def read_shard_manifest(path):
 # -- gzip / xz -------------------------------------------------------------------------
 
 
-def stream_payload(matrix) -> bytes:
+def stream_payload(matrix: Any) -> bytes:
     """Payload of the whole-file compressors: shape + the stream."""
     return _put_shape(matrix.shape) + _put_bytes(matrix.blob)
 
 
-def _read_stream(cls):
-    def read(data: bytes, pos: int):
+def _read_stream(cls: Any) -> Callable[[bytes, int], tuple[Any, int]]:
+    def read(data: bytes, pos: int) -> tuple[Any, int]:
         shape, pos = _get_shape(data, pos)
         blob, pos = _get_bytes(data, pos)
         return cls.from_blob(shape, blob), pos
@@ -738,13 +750,13 @@ def _read_stream(cls):
     return read
 
 
-def read_gzip(data: bytes, pos: int):
+def read_gzip(data: bytes, pos: int) -> tuple[Any, int]:
     from repro.baselines.gzip_xz import GzipMatrix
 
     return _read_stream(GzipMatrix)(data, pos)
 
 
-def read_xz(data: bytes, pos: int):
+def read_xz(data: bytes, pos: int) -> tuple[Any, int]:
     from repro.baselines.gzip_xz import XzMatrix
 
     return _read_stream(XzMatrix)(data, pos)

@@ -181,7 +181,8 @@ def compress_with_reordering(
             assert csms is not None
             orders = [_order_for(method, csm) for csm in csms]
             laid_out = [
-                p.with_column_order(order) for p, order in zip(parts, orders)
+                p.with_column_order(order)
+                for p, order in zip(parts, orders, strict=True)
             ]
         blocks = [
             BlockedMatrix._compress_block(p, variant, 2, None) for p in laid_out

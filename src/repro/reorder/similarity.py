@@ -142,7 +142,7 @@ def similarity_edges(csm: np.ndarray) -> list[tuple[float, int, int]]:
     w = csm[iu, ju]
     keep = w > 0
     edges = sorted(
-        zip(w[keep].tolist(), iu[keep].tolist(), ju[keep].tolist()),
+        zip(w[keep].tolist(), iu[keep].tolist(), ju[keep].tolist(), strict=True),
         key=lambda e: (-e[0], e[1], e[2]),
     )
     return edges

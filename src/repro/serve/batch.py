@@ -125,7 +125,7 @@ def batch_left_multiply(
     return _batched(matrix, vectors, "left", executor, threads, panel_width)
 
 
-def looped_right_multiply(matrix, vectors) -> np.ndarray:
+def looped_right_multiply(matrix, vectors) -> np.ndarray:  # ra: executor — deliberately serial pre-batching baseline for the throughput benchmark
     """``k`` single MVMs in a Python loop — the pre-batching baseline.
 
     Kept as the comparison point for
@@ -140,7 +140,7 @@ def looped_right_multiply(matrix, vectors) -> np.ndarray:
     )
 
 
-def looped_left_multiply(matrix, vectors) -> np.ndarray:
+def looped_left_multiply(matrix, vectors) -> np.ndarray:  # ra: executor — deliberately serial pre-batching baseline for the throughput benchmark
     """``k`` single left MVMs in a Python loop (benchmark baseline)."""
     panel = as_panel(vectors, matrix.shape[0], "y")
     return np.stack(

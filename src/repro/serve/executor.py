@@ -148,7 +148,7 @@ class BlockExecutor:
         if pool is not None:
             pool.shutdown(wait=True)
 
-    def __enter__(self) -> "BlockExecutor":
+    def __enter__(self) -> BlockExecutor:
         return self
 
     def __exit__(self, *_exc) -> None:

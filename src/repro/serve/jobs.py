@@ -32,6 +32,7 @@ import queue
 import threading
 from collections import OrderedDict
 from time import perf_counter, time
+from typing import Any
 
 from repro.errors import ReproError, SerializationError, SolveError
 
@@ -46,7 +47,9 @@ DEFAULT_MAX_JOBS = 1024
 class Job:
     """One submitted solver run and its lifecycle record."""
 
-    def __init__(self, job_id: str, algorithm: str, matrix: str, params: dict):
+    def __init__(
+        self, job_id: str, algorithm: str, matrix: str, params: dict
+    ) -> None:
         self.id = job_id
         self.algorithm = algorithm
         self.matrix = matrix
@@ -104,11 +107,11 @@ class JobManager:
 
     def __init__(
         self,
-        registry,
-        executor=None,
+        registry: Any,
+        executor: Any = None,
         workers: int = 1,
         max_jobs: int = DEFAULT_MAX_JOBS,
-    ):
+    ) -> None:
         if workers < 1:
             raise ReproError(f"job workers must be >= 1, got {workers}")
         if max_jobs < 1:
@@ -119,7 +122,7 @@ class JobManager:
         self.max_jobs = int(max_jobs)
         self._lock = threading.Lock()
         self._jobs: OrderedDict[str, Job] = OrderedDict()
-        self._queue: queue.Queue = queue.Queue()
+        self._queue: queue.Queue[Job | None] = queue.Queue()
         self._ids = itertools.count(1)
         self._threads: list[threading.Thread] = []
         self._closed = False
@@ -278,7 +281,7 @@ class JobManager:
 
     # -- accounting ------------------------------------------------------------------
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, int]:
         """Counters for ``/stats``."""
         with self._lock:
             by_state = {state: 0 for state in JOB_STATES}

@@ -44,6 +44,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 from repro.errors import ReproError, SerializationError
 from repro.io.serialize import format_of_info, load_matrix, read_matrix_info
@@ -52,7 +53,7 @@ from repro.io.serialize import format_of_info, load_matrix, read_matrix_info
 GCMX_SUFFIX = ".gcmx"
 
 
-def resident_estimate(matrix) -> int:
+def resident_estimate(matrix: Any) -> int:
     """Estimated live bytes of a served matrix: payload + working caches.
 
     Serving multiplies repeatedly, so the caches warm immediately and
@@ -71,7 +72,7 @@ def resident_estimate(matrix) -> int:
     return int(matrix.size_bytes()) + int(overhead() if overhead else 0)
 
 
-def _release_plans(matrix) -> None:
+def _release_plans(matrix: Any) -> None:
     """Free a matrix's retained plans on eviction (duck-typed no-op)."""
     release = getattr(matrix, "release_retained_plans", None)
     if release is not None:
@@ -85,7 +86,7 @@ class RegistryEntry:
     name: str
     path: Path
     info: dict = field(default_factory=dict)
-    matrix: object | None = None
+    matrix: Any = None
     resident_bytes: int = 0
     #: serialises concurrent cold loads of this one entry.
     load_lock: threading.Lock = field(default_factory=threading.Lock)
@@ -123,11 +124,11 @@ class MatrixRegistry:
 
     def __init__(
         self,
-        root=None,
+        root: Any = None,
         byte_budget: int | None = None,
         retain_plans: bool = True,
         lazy_shards: bool = True,
-    ):
+    ) -> None:
         if byte_budget is not None and byte_budget < 1:
             raise ReproError(f"byte_budget must be >= 1, got {byte_budget}")
         self._budget = byte_budget
@@ -149,7 +150,7 @@ class MatrixRegistry:
 
     # -- registration ------------------------------------------------------------
 
-    def register(self, name: str, path) -> RegistryEntry:
+    def register(self, name: str, path: Any) -> RegistryEntry:
         """Register (or re-register) ``name`` for the file at ``path``.
 
         The header is peeked immediately so a bad file fails at
@@ -163,7 +164,7 @@ class MatrixRegistry:
             self._entries.move_to_end(name, last=False)  # cold = LRU end
             return entry
 
-    def scan(self, root) -> list[str]:
+    def scan(self, root: Any) -> list[str]:
         """Register every ``*.gcmx`` file under ``root`` by file stem.
 
         Returns the registered names (sorted).  Unreadable files are
@@ -226,7 +227,7 @@ class MatrixRegistry:
 
     # -- loading and eviction -------------------------------------------------------
 
-    def get(self, name: str):
+    def get(self, name: str) -> Any:
         """Return the matrix behind ``name``, loading it if needed.
 
         Marks the entry most-recently-used and, after a load, evicts
@@ -263,7 +264,7 @@ class MatrixRegistry:
                 self._evict_over_budget(keep=name)
             return matrix
 
-    def _load_entry(self, entry: RegistryEntry):
+    def _load_entry(self, entry: RegistryEntry) -> Any:
         """Deserialize one entry — lazily for sharded containers."""
         if self._lazy_shards and entry.info.get("kind") == "sharded":
             from repro.shard.matrix import LazyShardedMatrix
@@ -281,11 +282,11 @@ class MatrixRegistry:
         ):
             entry.resident_bytes = resident_estimate(entry.matrix)
 
-    def _absorb_shard_counters(self, matrix) -> None:
+    def _absorb_shard_counters(self, matrix: Any) -> None:
         """Keep a whole-evicted lazy matrix's shard counters in /stats."""
         if hasattr(matrix, "shard_loads"):
-            self._shard_loads_absorbed += matrix.shard_loads
-            self._shard_evictions_absorbed += matrix.shard_evictions
+            self._shard_loads_absorbed += matrix.shard_loads  # ra: unlocked — both callers (evict, _evict_over_budget) hold self._lock
+            self._shard_evictions_absorbed += matrix.shard_evictions  # ra: unlocked — both callers (evict, _evict_over_budget) hold self._lock
 
     def evict(self, name: str) -> bool:
         """Drop ``name``'s resident matrix (keeps the registration)."""
@@ -364,7 +365,7 @@ class MatrixRegistry:
                 self._refresh_residency(entry)
             return sum(e.resident_bytes for e in self._entries.values())
 
-    def stats(self) -> dict:
+    def stats(self) -> dict[str, Any]:
         """Counters for ``/stats``: hits, misses, loads, evictions, residency."""
         with self._lock:
             shard_loads = self._shard_loads_absorbed

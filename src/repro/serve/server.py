@@ -158,7 +158,7 @@ class MatrixServer:
         """Block serving requests until :meth:`close` (or Ctrl-C)."""
         self._httpd.serve_forever()
 
-    def start(self) -> "MatrixServer":
+    def start(self) -> MatrixServer:
         """Serve on a daemon thread and return immediately (for tests)."""
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, daemon=True
@@ -177,7 +177,7 @@ class MatrixServer:
         if self.executor is not None:
             self.executor.shutdown()
 
-    def __enter__(self) -> "MatrixServer":
+    def __enter__(self) -> MatrixServer:
         return self
 
     def __exit__(self, *_exc) -> None:

@@ -32,7 +32,7 @@ REPORTED_PERCENTILES = (50.0, 90.0, 99.0)
 class LatencyWindow:
     """A ring buffer of recent request latencies with percentile queries."""
 
-    def __init__(self, capacity: int = DEFAULT_WINDOW):
+    def __init__(self, capacity: int = DEFAULT_WINDOW) -> None:
         if capacity < 1:
             raise MatrixFormatError(f"capacity must be >= 1, got {capacity}")
         self._ring = np.zeros(capacity, dtype=np.float64)
@@ -62,10 +62,12 @@ class LatencyWindow:
             return float("nan")
         return float(np.percentile(vals, q, method="nearest"))
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         """Summary dict: count, mean and the reported percentiles (ms)."""
         vals = self.values()
-        out = {"count": self._count}
+        # Annotated explicitly: the literal would infer dict[str, int]
+        # from the count and reject the float percentile entries below.
+        out: dict[str, float] = {"count": self._count}
         if vals.size:
             out["mean_ms"] = float(vals.mean()) * 1000.0
             for q in REPORTED_PERCENTILES:
@@ -78,7 +80,7 @@ class LatencyWindow:
 class MatrixStats:
     """Counters for one served matrix."""
 
-    def __init__(self, window: int = DEFAULT_WINDOW):
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         self.requests = 0
         self.errors = 0
         self.latency = LatencyWindow(window)
@@ -90,8 +92,11 @@ class MatrixStats:
         elif seconds is not None:
             self.latency.record(seconds)
 
-    def snapshot(self) -> dict:
-        out = {"requests": self.requests, "errors": self.errors}
+    def snapshot(self) -> dict[str, float]:
+        out: dict[str, float] = {
+            "requests": self.requests,
+            "errors": self.errors,
+        }
         out.update(self.latency.snapshot())
         return out
 
@@ -99,7 +104,7 @@ class MatrixStats:
 class ServeStats:
     """Thread-safe per-matrix statistics for the serving engine."""
 
-    def __init__(self, window: int = DEFAULT_WINDOW):
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         self._window = int(window)
         self._lock = threading.Lock()
         self._per_matrix: dict[str, MatrixStats] = {}
@@ -112,7 +117,7 @@ class ServeStats:
                 stats = self._per_matrix[name] = MatrixStats(self._window)
             stats.record(seconds, error=error)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, dict[str, float]]:
         """``{matrix name: summary dict}`` for every matrix seen so far."""
         with self._lock:
             return {

@@ -174,9 +174,10 @@ class _ShardFanout(MatrixFormat):
         return sum(s.resident_overhead_bytes() for s in self._loaded_shards())
 
     def enable_plan_retention(self, retain: bool = True) -> bool:
-        return any(
-            [s.enable_plan_retention(retain) for s in self._loaded_shards()]
-        )
+        # Materialized first so every shard sees the call; ``any`` over
+        # a generator would stop at the first shard that took it.
+        took = [s.enable_plan_retention(retain) for s in self._loaded_shards()]
+        return any(took)
 
     def release_retained_plans(self) -> None:
         for s in self._loaded_shards():
@@ -477,7 +478,11 @@ class LazyShardedMatrix(_ShardFanout):
         return self.resident_shard_bytes()
 
     def enable_plan_retention(self, retain: bool = True) -> bool:
-        self._retain_plans = bool(retain)
+        # The flag steers every future shard load, and loads happen on
+        # whichever serving thread touches a cold shard first — the
+        # write must be published under the same lock those loads hold.
+        with self._lock:
+            self._retain_plans = bool(retain)
         return super().enable_plan_retention(retain)
 
     def release_retained_plans(self) -> None:

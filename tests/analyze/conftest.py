@@ -1,0 +1,26 @@
+"""Shared helpers for the analyzer tests: inline-source fixtures."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analyze.engine import SourceFile
+from repro.analyze.findings import parse_waivers
+
+
+def make_source(text: str, rel: str = "pkg/mod.py") -> SourceFile:
+    """Parse an inline snippet into the SourceFile the rules consume."""
+    text = text.lstrip("\n")
+    return SourceFile(
+        path=Path(rel),
+        rel=rel,
+        text=text,
+        tree=ast.parse(text),
+        waivers=parse_waivers(text),
+    )
+
+
+@pytest.fixture
+def source():
+    return make_source

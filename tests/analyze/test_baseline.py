@@ -1,0 +1,62 @@
+"""Baseline ratchet semantics: new fails, known passes, fixed goes stale."""
+
+import json
+
+import pytest
+
+from repro.analyze.baseline import Baseline, load_baseline, write_baseline
+from repro.analyze.findings import Finding
+from repro.errors import ReproError
+
+
+def _finding(detail="_x", line=5):
+    return Finding(rule="RA03", path="src/mod.py", line=line,
+                   message="m", scope="C.m", detail=detail)
+
+
+class TestSplit:
+    def test_known_finding_matches(self):
+        base = Baseline.from_findings([_finding()])
+        new, stale = base.split([_finding(line=99)])  # moved lines still match
+        assert new == [] and stale == []
+
+    def test_new_finding_reported(self):
+        base = Baseline.from_findings([_finding("_x")])
+        new, stale = base.split([_finding("_x"), _finding("_y")])
+        assert [f.detail for f in new] == ["_y"]
+        assert stale == []
+
+    def test_fixed_finding_goes_stale(self):
+        base = Baseline.from_findings([_finding("_x"), _finding("_y")])
+        new, stale = base.split([_finding("_x")])
+        assert new == []
+        assert stale == [_finding("_y").key]
+
+    def test_empty_baseline_rejects_everything(self):
+        new, stale = Baseline().split([_finding()])
+        assert len(new) == 1 and stale == []
+
+
+class TestFileRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "analysis" / "baseline.json"
+        write_baseline(path, [_finding()])
+        base = load_baseline(path)
+        assert _finding().key in base.entries
+
+    def test_missing_file_is_empty(self, tmp_path):
+        base = load_baseline(tmp_path / "absent.json")
+        assert base.entries == {}
+
+    def test_written_file_is_versioned_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [])
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_baseline(path)

@@ -1,0 +1,168 @@
+"""The analyze driver: exit codes, JSON report, baseline flags."""
+
+import json
+
+import pytest
+
+from repro.analyze.cli import main
+
+BAD_LOCK = """import threading
+
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0
+
+    def bump(self):
+        self._state += 1
+"""
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    (tmp_path / "locky.py").write_text(BAD_LOCK)
+    return tmp_path
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "fine.py").write_text("x = 1\n")
+    return tmp_path
+
+
+def _run(args, capsys):
+    code = main([str(a) for a in args])
+    return code, capsys.readouterr()
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, tmp_path, capsys):
+        code, _ = _run(
+            [clean_tree, "--baseline", tmp_path / "b.json"], capsys
+        )
+        assert code == 0
+
+    def test_new_finding_exits_one(self, bad_tree, tmp_path, capsys):
+        code, out = _run(
+            [bad_tree, "--baseline", tmp_path / "b.json"], capsys
+        )
+        assert code == 1
+        assert "RA03" in out.out
+
+    def test_unknown_rule_exits_two(self, clean_tree, tmp_path, capsys):
+        code, out = _run(
+            [clean_tree, "--select", "RA99",
+             "--baseline", tmp_path / "b.json"], capsys
+        )
+        assert code == 2
+        assert "unknown rule" in out.err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code, _ = _run(
+            [tmp_path / "gone", "--baseline", tmp_path / "b.json"], capsys
+        )
+        assert code == 2
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        code, out = _run(
+            [tmp_path, "--baseline", tmp_path / "b.json"], capsys
+        )
+        assert code == 1
+        assert "PARSE ERROR" in out.out
+
+
+class TestBaselineRatchet:
+    def test_write_then_pass(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        code, _ = _run([bad_tree, "--write-baseline",
+                        "--baseline", baseline], capsys)
+        assert code == 0 and baseline.exists()
+        code, out = _run([bad_tree, "--baseline", baseline], capsys)
+        assert code == 0
+        assert "1 baselined" in out.out
+
+    def test_new_debt_still_fails(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        _run([bad_tree, "--write-baseline", "--baseline", baseline], capsys)
+        extra = BAD_LOCK.replace(
+            "        self._state += 1",
+            "        self._state += 1\n        self._other = 2",
+        )
+        (bad_tree / "locky.py").write_text(extra)
+        code, out = _run([bad_tree, "--baseline", baseline], capsys)
+        assert code == 1
+        assert "_other" in out.out
+
+    def test_stale_entry_warns_but_passes(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        _run([bad_tree, "--write-baseline", "--baseline", baseline], capsys)
+        (bad_tree / "locky.py").write_text("x = 1\n")  # debt paid down
+        code, out = _run([bad_tree, "--baseline", baseline], capsys)
+        assert code == 0
+        assert "stale" in out.out
+
+    def test_strict_baseline_fails_on_stale(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        _run([bad_tree, "--write-baseline", "--baseline", baseline], capsys)
+        (bad_tree / "locky.py").write_text("x = 1\n")
+        code, _ = _run(
+            [bad_tree, "--baseline", baseline, "--strict-baseline"], capsys
+        )
+        assert code == 1
+
+    def test_no_baseline_ignores_file(self, bad_tree, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        _run([bad_tree, "--write-baseline", "--baseline", baseline], capsys)
+        code, _ = _run(
+            [bad_tree, "--baseline", baseline, "--no-baseline"], capsys
+        )
+        assert code == 1
+
+
+class TestJsonOutput:
+    def test_json_report_shape(self, bad_tree, tmp_path, capsys):
+        code, out = _run(
+            [bad_tree, "--format", "json", "--baseline", tmp_path / "b.json"],
+            capsys,
+        )
+        payload = json.loads(out.out)
+        assert code == 1
+        assert payload["failed"] is True
+        assert payload["files_scanned"] == 1
+        assert payload["findings"][0]["rule"] == "RA03"
+        assert payload["baseline"]["new"][0]["detail"] == "_state"
+
+    def test_output_file_written(self, bad_tree, tmp_path, capsys):
+        report = tmp_path / "artifacts" / "report.json"
+        _run(
+            [bad_tree, "--baseline", tmp_path / "b.json", "--output", report],
+            capsys,
+        )
+        payload = json.loads(report.read_text())
+        assert payload["failed"] is True
+
+    def test_select_restricts_rules(self, bad_tree, tmp_path, capsys):
+        code, out = _run(
+            [bad_tree, "--select", "RA04", "--format", "json",
+             "--baseline", tmp_path / "b.json"],
+            capsys,
+        )
+        payload = json.loads(out.out)
+        assert code == 0
+        assert payload["rules"] == ["RA04"]
+        assert payload["findings"] == []
+
+
+class TestPackagedEntryPoints:
+    def test_repro_cli_has_analyze(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["analyze", "somepath", "--format", "json"])
+        assert args.paths == ["somepath"]
+        assert args.output_format == "json"
+
+    def test_module_entry_point_importable(self):
+        import repro.analyze.__main__  # noqa: F401

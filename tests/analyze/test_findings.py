@@ -1,0 +1,79 @@
+"""Waiver-comment grammar and Finding identity/rendering."""
+
+from repro.analyze.findings import Finding, parse_waivers
+
+
+class TestWaiverParsing:
+    def test_em_dash_separator(self):
+        ws = parse_waivers("x = 1  # ra: unlocked — caller holds it\n")
+        assert ws.covers(1, "unlocked")
+
+    def test_double_dash_separator(self):
+        ws = parse_waivers("x = 1  # ra: unlocked -- caller holds it\n")
+        assert ws.covers(1, "unlocked")
+
+    def test_colon_separator(self):
+        ws = parse_waivers("x = 1  # ra: broad-except: boundary\n")
+        assert ws.covers(1, "broad-except")
+
+    def test_reason_is_mandatory(self):
+        # A bare tag with no reason is not a waiver — the reason is the
+        # reviewable artifact.
+        ws = parse_waivers("x = 1  # ra: unlocked —\n")
+        assert not ws.covers(1, "unlocked")
+        ws = parse_waivers("x = 1  # ra: unlocked\n")
+        assert not ws.covers(1, "unlocked")
+
+    def test_tag_must_match(self):
+        ws = parse_waivers("x = 1  # ra: executor — serial baseline\n")
+        assert ws.covers(1, "executor")
+        assert not ws.covers(1, "unlocked")
+
+    def test_line_must_match(self):
+        ws = parse_waivers("a = 1\nb = 2  # ra: out — fills in place\n")
+        assert ws.covers(2, "out")
+        assert not ws.covers(1, "out")
+
+    def test_multiple_waivers(self):
+        text = (
+            "a = 1  # ra: unlocked — init-only\n"
+            "b = 2\n"
+            "c = 3  # ra: executor — benchmark baseline\n"
+        )
+        ws = parse_waivers(text)
+        assert ws.covers(1, "unlocked")
+        assert ws.covers(3, "executor")
+        assert not ws.covers(2, "unlocked")
+
+    def test_reason_recorded(self):
+        ws = parse_waivers("x = 1  # ra: unlocked — caller holds the lock\n")
+        assert ws.by_line[1].reason == "caller holds the lock"
+
+
+class TestFinding:
+    def test_key_is_line_free(self):
+        a = Finding(rule="RA03", path="p.py", line=10, message="m",
+                    scope="C.m", detail="_x")
+        b = Finding(rule="RA03", path="p.py", line=99, message="m",
+                    scope="C.m", detail="_x")
+        assert a.key == b.key == "RA03:p.py:C.m:_x"
+
+    def test_key_distinguishes_detail(self):
+        a = Finding(rule="RA03", path="p.py", line=1, message="m",
+                    scope="C.m", detail="_x")
+        b = Finding(rule="RA03", path="p.py", line=1, message="m",
+                    scope="C.m", detail="_y")
+        assert a.key != b.key
+
+    def test_render(self):
+        f = Finding(rule="RA05", path="src/k.py", line=7, message="bad out")
+        assert f.render() == "src/k.py:7: RA05 bad out"
+
+    def test_payload_round_trip_fields(self):
+        f = Finding(rule="RA04", path="a.py", line=3, message="m",
+                    scope="f", detail="except Exception")
+        payload = f.to_payload()
+        assert payload == {
+            "rule": "RA04", "path": "a.py", "line": 3,
+            "scope": "f", "detail": "except Exception", "message": "m",
+        }

@@ -1,0 +1,114 @@
+"""RA04 — broad excepts only at the documented worker/server boundaries."""
+
+from repro.analyze.rules_ast import check_broad_except
+
+from tests.analyze.conftest import make_source
+
+BROAD = """
+def handler():
+    try:
+        work()
+    except Exception:
+        return None
+"""
+
+
+class TestBroadExcept:
+    def test_broad_except_flagged(self):
+        findings = check_broad_except(make_source(BROAD))
+        assert len(findings) == 1
+        assert findings[0].rule == "RA04"
+        assert findings[0].scope == "handler"
+        assert findings[0].detail == "except Exception"
+
+    def test_bare_except_flagged(self):
+        text = """
+def handler():
+    try:
+        work()
+    except:
+        return None
+"""
+        findings = check_broad_except(make_source(text))
+        assert [f.detail for f in findings] == ["bare except"]
+
+    def test_base_exception_and_tuple_flagged(self):
+        text = """
+def handler():
+    try:
+        work()
+    except (ValueError, BaseException):
+        return None
+"""
+        assert len(check_broad_except(make_source(text))) == 1
+
+    def test_typed_except_is_clean(self):
+        text = """
+def handler():
+    try:
+        work()
+    except ValueError:
+        return None
+"""
+        assert check_broad_except(make_source(text)) == []
+
+    def test_bare_reraise_is_clean(self):
+        text = """
+def handler():
+    try:
+        work()
+    except Exception:
+        cleanup()
+        raise
+"""
+        assert check_broad_except(make_source(text)) == []
+
+    def test_named_reraise_is_clean(self):
+        text = """
+def handler():
+    try:
+        work()
+    except Exception as exc:
+        log(exc)
+        raise exc
+"""
+        assert check_broad_except(make_source(text)) == []
+
+    def test_raising_something_else_still_flagged(self):
+        # Swallowing the original and raising a fresh error is exactly
+        # the taxonomy-bypass the rule exists to catch.
+        text = """
+def handler():
+    try:
+        work()
+    except Exception:
+        raise RuntimeError("nope")
+"""
+        assert len(check_broad_except(make_source(text))) == 1
+
+    def test_boundary_files_exempt(self):
+        for boundary in ("serve/jobs.py", "serve/server.py"):
+            src = make_source(BROAD, rel=f"src/repro/{boundary}")
+            assert check_broad_except(src) == []
+
+    def test_waiver_suppresses(self):
+        text = """
+def handler():
+    try:
+        work()
+    except Exception:  # ra: broad-except — plugin import guard
+        return None
+"""
+        assert check_broad_except(make_source(text)) == []
+
+    def test_scope_is_dotted_path(self):
+        text = """
+class Worker:
+    def run(self):
+        try:
+            work()
+        except Exception:
+            pass
+"""
+        findings = check_broad_except(make_source(text))
+        assert findings[0].scope == "Worker.run"

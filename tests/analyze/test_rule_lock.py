@@ -1,0 +1,159 @@
+"""RA03 — writes to guarded attributes must hold ``self._lock``."""
+
+from repro.analyze.rules_ast import check_lock_discipline
+
+from tests.analyze.conftest import make_source
+
+LOCKED_CLASS = """
+import threading
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0
+
+    def bump(self):
+        with self._lock:
+            self._state += 1
+"""
+
+UNLOCKED_WRITE = """
+import threading
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0
+
+    def bump(self):
+        self._state += 1
+"""
+
+
+class TestLockDiscipline:
+    def test_write_under_lock_is_clean(self):
+        assert check_lock_discipline(make_source(LOCKED_CLASS)) == []
+
+    def test_unlocked_write_flagged(self):
+        findings = check_lock_discipline(make_source(UNLOCKED_WRITE))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "RA03"
+        assert f.scope == "Guarded.bump"
+        assert f.detail == "_state"
+
+    def test_init_writes_exempt(self):
+        # __init__ runs before the object is shared; its bare writes
+        # (including creating the lock itself) are the normal pattern.
+        src = make_source(LOCKED_CLASS)
+        assert check_lock_discipline(src) == []
+
+    def test_locked_suffix_methods_exempt(self):
+        text = """
+import threading
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0
+
+    def _bump_locked(self):
+        self._state += 1
+"""
+        assert check_lock_discipline(make_source(text)) == []
+
+    def test_waiver_suppresses(self):
+        text = """
+import threading
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._state = 0
+
+    def bump(self):
+        self._state += 1  # ra: unlocked — single-threaded setup phase
+"""
+        assert check_lock_discipline(make_source(text)) == []
+
+    def test_class_without_lock_ignored(self):
+        text = """
+class Plain:
+    def __init__(self):
+        self._state = 0
+
+    def bump(self):
+        self._state += 1
+"""
+        assert check_lock_discipline(make_source(text)) == []
+
+    def test_public_and_dunder_attrs_ignored(self):
+        text = """
+import threading
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def bump(self):
+        self.count = 1
+        self.__mangled = 2
+"""
+        assert check_lock_discipline(make_source(text)) == []
+
+    def test_tuple_and_augmented_targets(self):
+        text = """
+import threading
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def bump(self):
+        self._a, self._b = 1, 2
+"""
+        findings = check_lock_discipline(make_source(text))
+        assert sorted(f.detail for f in findings) == ["_a", "_b"]
+
+    def test_nested_function_writes_not_attributed(self):
+        # A closure runs later (often on another thread); RA03 only
+        # reasons about the method's own control flow.
+        text = """
+import threading
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def bump(self):
+        with self._lock:
+            def task():
+                self._state = 1
+            return task
+"""
+        assert check_lock_discipline(make_source(text)) == []
+
+    def test_seeded_violation_matches_fixed_shard_matrix(self):
+        # Regression fixture mirroring the bug RA03 caught in
+        # LazyShardedMatrix.enable_plan_retention before it was fixed.
+        text = """
+import threading
+
+class LazyContainer:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._retain_plans = True
+
+    def enable_plan_retention(self, retain=True):
+        self._retain_plans = bool(retain)
+        return True
+"""
+        findings = check_lock_discipline(make_source(text))
+        assert [f.detail for f in findings] == ["_retain_plans"]
+        fixed = text.replace(
+            "        self._retain_plans = bool(retain)\n        return True",
+            "        with self._lock:\n"
+            "            self._retain_plans = bool(retain)\n"
+            "        return True",
+        )
+        assert check_lock_discipline(make_source(fixed)) == []

@@ -1,0 +1,93 @@
+"""RA05 — kernels taking ``out=`` must return the caller's buffer."""
+
+from repro.analyze.rules_ast import check_out_contract
+
+from tests.analyze.conftest import make_source
+
+
+class TestOutContract:
+    def test_fresh_allocation_flagged(self):
+        text = """
+import numpy as np
+
+def kernel(x, out=None):
+    result = np.zeros_like(x)
+    if out is not None:
+        out[:] = result
+    return result
+"""
+        findings = check_out_contract(make_source(text))
+        assert len(findings) == 1
+        assert findings[0].rule == "RA05"
+        assert findings[0].scope == "kernel"
+
+    def test_returning_out_is_clean(self):
+        text = """
+def kernel(x, out):
+    out[:] = x
+    return out
+"""
+        assert check_out_contract(make_source(text)) == []
+
+    def test_alias_chain_is_clean(self):
+        text = """
+def kernel(x, out):
+    res = out
+    final = res
+    final[:] = x
+    return final
+"""
+        assert check_out_contract(make_source(text)) == []
+
+    def test_forwarding_out_is_clean(self):
+        text = """
+def kernel(x, out=None, threads=1):
+    return delegate(x, out=out, threads=threads)
+"""
+        assert check_out_contract(make_source(text)) == []
+
+    def test_in_place_procedure_is_clean(self):
+        # No value-bearing return: the fill-in-place convention.
+        text = """
+def kernel(panel, out):
+    for j in range(panel.shape[1]):
+        out[:, j] = panel[:, j]
+"""
+        assert check_out_contract(make_source(text)) == []
+
+    def test_one_bad_path_flags(self):
+        # Returning out on one branch but a fresh array on another is
+        # still clean for this syntactic check (some path returns out);
+        # only functions with *no* out-returning path are flagged.
+        text = """
+def kernel(x, out=None):
+    if out is None:
+        return fresh(x)
+    return out
+"""
+        assert check_out_contract(make_source(text)) == []
+
+    def test_function_without_out_ignored(self):
+        text = """
+def kernel(x, buffer=None):
+    return fresh(x)
+"""
+        assert check_out_contract(make_source(text)) == []
+
+    def test_waiver_suppresses(self):
+        text = """
+def kernel(x, out=None):  # ra: out — returns a view by documented contract
+    return fresh(x)
+"""
+        assert check_out_contract(make_source(text)) == []
+
+    def test_nested_function_returns_not_credited(self):
+        # The closure's `return out` belongs to the closure, not the
+        # enclosing kernel.
+        text = """
+def kernel(x, out=None):
+    def inner():
+        return out
+    return fresh(x)
+"""
+        assert len(check_out_contract(make_source(text))) == 1

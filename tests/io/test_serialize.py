@@ -88,7 +88,7 @@ class TestErrorHandling:
 
     def test_truncated_blob(self, structured_matrix):
         blob = saves_matrix(GrammarCompressedMatrix.compress(structured_matrix))
-        with pytest.raises(Exception):
+        with pytest.raises(SerializationError):
             loads_matrix(blob[: len(blob) // 2])
 
     def test_unsupported_object(self):

@@ -29,9 +29,10 @@ class TestSemanticsPreserved:
     def test_rows_keep_their_pairs(self, structured_matrix, key):
         csrv = CSRVMatrix.from_dense(structured_matrix)
         reordered = reorder_within_rows(csrv, key=key)
-        for (c0, v0), (c1, v1) in zip(csrv.iter_rows(), reordered.iter_rows()):
-            assert sorted(zip(c0.tolist(), v0.tolist())) == sorted(
-                zip(c1.tolist(), v1.tolist())
+        pairs = zip(csrv.iter_rows(), reordered.iter_rows(), strict=True)
+        for (c0, v0), (c1, v1) in pairs:
+            assert sorted(zip(c0.tolist(), v0.tolist(), strict=True)) == sorted(
+                zip(c1.tolist(), v1.tolist(), strict=True)
             )
 
     def test_unknown_key_rejected(self, paper_matrix):
@@ -47,7 +48,7 @@ class TestCanonicalisation:
         s = canonical.s
         boundary = s == 0
         last = -1
-        for pos, code in enumerate(s.tolist()):
+        for code in s.tolist():
             if code == 0:
                 last = -1
             else:
