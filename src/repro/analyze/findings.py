@@ -23,6 +23,7 @@ unlocked   RA03   an unlocked write to a guarded attribute
 broad-except  RA04  an ``except Exception`` outside the boundaries
 out        RA05   a kernel that knowingly breaks the ``out=`` contract
 executor   RA06   a multiply entry point without executor plumbing
+retry      RA07   a retry handler that deliberately drops a typed error
 =========  =====  ==========================================
 """
 
@@ -38,6 +39,7 @@ RULE_WAIVER_TAGS = {
     "RA04": "broad-except",
     "RA05": "out",
     "RA06": "executor",
+    "RA07": "retry",
 }
 
 _WAIVER_RE = re.compile(

@@ -508,6 +508,139 @@ def _loads_in_body(node, name: str) -> bool:
     return False
 
 
+# ---------------------------------------------------------------------------
+# RA07 — retry / integrity discipline
+# ---------------------------------------------------------------------------
+
+
+def check_retry_discipline(source) -> list[Finding]:
+    """RA07: retry loops re-raise typed errors; IntegrityError never vanishes.
+
+    Two complementary checks around the resilience layer's contract
+    (:mod:`repro.resilience.policy`):
+
+    1. A handler that *names* ``IntegrityError`` must contain a
+       ``raise`` — corruption is persistent, so swallowing it turns a
+       quarantinable fault into silent wrong answers.  Mapping it to
+       another typed error (``raise ... from exc``) is fine; dropping
+       it is not.
+    2. Inside a retry-shaped loop — ``while ...`` or
+       ``for ... in range(...)`` — a handler catching a typed
+       ``*Error`` whose body only ``pass``es/``continue``s is a
+       hand-rolled retry that swallows the terminal failure.  Use
+       :class:`repro.resilience.policy.RetryPolicy` (which re-raises
+       at exhaustion) or re-raise on the last attempt.
+
+    Data loops (``for path in paths: ... continue``) are out of scope:
+    skipping one *item* is iteration, not retrying one *operation*.
+    Waiver: ``# ra: retry — <reason>`` on the ``except`` line.
+    """
+    tag = RULE_WAIVER_TAGS["RA07"]
+    findings: list[Finding] = []
+    retry_spans = _retry_loop_spans(source.tree)
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = _handler_type_names(node)
+        scope = _enclosing_scope(source.tree, node)
+        if "IntegrityError" in caught and not _contains_raise(node):
+            if not source.waivers.covers(node.lineno, tag):
+                findings.append(
+                    Finding(
+                        rule="RA07",
+                        path=source.rel,
+                        line=node.lineno,
+                        scope=scope,
+                        detail="IntegrityError",
+                        message=(
+                            "handler catches IntegrityError but never "
+                            "raises; corruption must stay typed and "
+                            "visible (re-raise, or map it with `raise "
+                            "... from exc`), or waive with `# ra: retry "
+                            "— <reason>`"
+                        ),
+                    )
+                )
+            continue
+        typed = [name for name in caught if name.endswith("Error")]
+        if not typed:
+            continue
+        if not any(s <= node.lineno <= e for s, e in retry_spans):
+            continue
+        if not _is_swallow_body(node):
+            continue
+        if source.waivers.covers(node.lineno, tag):
+            continue
+        findings.append(
+            Finding(
+                rule="RA07",
+                path=source.rel,
+                line=node.lineno,
+                scope=scope,
+                detail=",".join(sorted(typed)),
+                message=(
+                    f"retry loop swallows {', '.join(sorted(typed))} "
+                    "with an empty handler; use "
+                    "repro.resilience.policy.RetryPolicy (re-raises at "
+                    "exhaustion) or re-raise the typed error, or waive "
+                    "with `# ra: retry — <reason>`"
+                ),
+            )
+        )
+    return findings
+
+
+def _retry_loop_spans(tree: ast.AST) -> list[tuple[int, int]]:
+    """Line spans of retry-shaped loops: ``while`` and ``for-range``."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.While):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+        elif isinstance(node, ast.For):
+            it = node.iter
+            if (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Name)
+                and it.func.id == "range"
+            ):
+                spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def _handler_type_names(node: ast.ExceptHandler) -> list[str]:
+    """Exception class names the handler catches (tail of dotted paths)."""
+    exprs: list[ast.expr] = []
+    if node.type is None:
+        return []
+    if isinstance(node.type, ast.Tuple):
+        exprs = list(node.type.elts)
+    else:
+        exprs = [node.type]
+    names = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.append(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.append(expr.attr)
+    return names
+
+
+def _contains_raise(node: ast.ExceptHandler) -> bool:
+    return any(isinstance(child, ast.Raise) for child in ast.walk(node))
+
+
+def _is_swallow_body(node: ast.ExceptHandler) -> bool:
+    """The handler body does nothing but pass/continue (comments aside)."""
+    for stmt in node.body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring-style comment
+        return False
+    return True
+
+
 #: Rule id → (callable, one-line summary).  The engine dispatches from
 #: this table; docs and ``--select`` validation derive from it too.
 AST_RULES = {
@@ -515,4 +648,5 @@ AST_RULES = {
     "RA04": check_broad_except,
     "RA05": check_out_contract,
     "RA06": check_executor_plumbing,
+    "RA07": check_retry_discipline,
 }

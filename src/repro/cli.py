@@ -38,12 +38,19 @@ Commands
     Serve a directory of ``.gcmx`` files over the HTTP JSON API
     (``/matrices``, ``/multiply``, ``/jobs``, ``/stats`` — see
     :mod:`repro.serve.server`).  ``--job-workers N`` sets how many
-    asynchronous solver jobs run concurrently.
+    asynchronous solver jobs run concurrently;
+    ``--request-deadline-ms`` puts a latency budget on every request
+    (expiry answers 504 with ``Retry-After``).
+``verify PATH``
+    Check the CRC32 checksum footers of one ``.gcmx`` file or every
+    ``.gcmx`` file under a directory (sharded containers are verified
+    section by section).  Exit status 1 when any file fails.
 ``analyze [PATHS...]``
     Run the project-specific static-analysis suite
     (:mod:`repro.analyze` — capability flags, kind tags, lock
-    discipline, exception boundaries, kernel contracts) against the
-    committed baseline in ``analysis/baseline.json``.
+    discipline, exception boundaries, kernel contracts, retry
+    discipline) against the committed baseline in
+    ``analysis/baseline.json``.
 
 ``repro --version`` prints the package version
 (:mod:`repro._version`, the same figure ``/stats`` reports).
@@ -379,6 +386,42 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.errors import SerializationError
+    from repro.resilience.integrity import verify_file
+
+    root = Path(args.path)
+    if root.is_dir():
+        paths = sorted(root.rglob("*.gcmx"))
+        if not paths:
+            print(f"no .gcmx files found under {root}", file=sys.stderr)
+            return 1
+    else:
+        paths = [root]
+    failures = 0
+    for path in paths:
+        try:
+            report = verify_file(path, deep=not args.shallow)
+        except FileNotFoundError:
+            print(f"{path}: FAIL  no such file", file=sys.stderr)
+            failures += 1
+            continue
+        except SerializationError as exc:
+            print(f"{path}: FAIL  {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        detail = f"{report['integrity']}, {report['file_bytes']:,} bytes"
+        if "shards" in report:
+            detail += f", {len(report['shards'])} shard sections checked"
+        print(f"{path}: OK    {detail}")
+    if failures:
+        print(f"{failures} of {len(paths)} file(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_analyze(args) -> int:
     from repro.analyze.cli import run_from_args
 
@@ -412,6 +455,7 @@ def _cmd_serve(args) -> int:
             host=args.host,
             port=args.port,
             job_workers=args.job_workers,
+            request_deadline_ms=args.request_deadline_ms,
         )
     except OSError as exc:
         print(
@@ -597,7 +641,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--job-workers", type=int, default=1,
         help="background workers for asynchronous /jobs solver runs",
     )
+    p.add_argument(
+        "--request-deadline-ms", type=int, default=None,
+        help="latency budget per request in milliseconds; expiry "
+        "answers 504 with a Retry-After header (default: none)",
+    )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "verify", help="check .gcmx checksum footers (file or directory)"
+    )
+    p.add_argument("path", help="one .gcmx file or a directory to scan")
+    p.add_argument(
+        "--shallow", action="store_true",
+        help="skip per-shard section checks inside sharded containers",
+    )
+    p.set_defaults(fn=_cmd_verify)
 
     from repro.analyze.cli import add_arguments as _add_analyze_arguments
 

@@ -63,6 +63,93 @@ class TruncatedPayloadError(SerializationError):
         self.kind = kind
 
 
+class IntegrityError(SerializationError):
+    """A GCMX payload's CRC32 footer does not match its bytes.
+
+    The payload was framed correctly but its content changed after it
+    was written — bit rot, a torn write, or deliberate fault injection.
+    :attr:`expected` / :attr:`actual` carry the two CRC32 values and
+    :attr:`source` names the file or shard section that failed, so the
+    serving layer can quarantine exactly the broken unit.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        expected: int | None = None,
+        actual: int | None = None,
+        source: str | None = None,
+    ):
+        super().__init__(message)
+        self.expected = expected
+        self.actual = actual
+        self.source = source
+
+
+class ResilienceError(ReproError):
+    """Base class for the failure-policy layer (:mod:`repro.resilience`)."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """A request/job ran out of its deadline budget.
+
+    :attr:`elapsed` is the time spent when the budget expired (seconds)
+    and :attr:`budget` the total budget; the HTTP layer maps this to
+    504 with a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        elapsed: float | None = None,
+        budget: float | None = None,
+    ):
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.budget = budget
+
+
+class CircuitOpenError(ResilienceError):
+    """A circuit breaker is open: the guarded resource is quarantined.
+
+    Raised *instead of* attempting the operation, so a persistently
+    failing load stops consuming retries and IO.  :attr:`retry_after`
+    is the seconds until the breaker half-opens — the HTTP layer maps
+    this to 503 with a matching ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class ShardUnavailableError(ResilienceError):
+    """A shard of a sharded container cannot currently be served.
+
+    Wraps the underlying typed failure (:attr:`__cause__`) with the
+    shard index so degradation states and error messages name the
+    exact broken section.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int | None = None,
+        retry_after: float = 0.0,
+    ):
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = float(retry_after)
+
+
+class WorkerLostError(ResilienceError):
+    """A background job worker died or hung while a job was running.
+
+    The watchdog records this on the orphaned job instead of leaving
+    it ``running`` forever over a dead thread.
+    """
+
+
 class PlanningError(ReproError):
     """The CLA compression planner could not produce a valid plan."""
 

@@ -12,12 +12,23 @@ Layout (all integers LEB128 unless noted)::
     kind    u8 — the serialization tag of a registered format
                (:mod:`repro.formats.registry`)
     payload
+    footer  b"GXCF" + crc32 u32 LE over everything above
+            (:mod:`repro.resilience.integrity`; optional — pre-footer
+            blobs still load, reported ``integrity="unverified"``)
 
 :func:`saves_matrix` / :func:`loads_matrix` dispatch through the format
 registry: the matrix's :class:`~repro.formats.FormatSpec` provides the
 kind tag and the payload codec, so adding a format never touches this
 module.  The codec functions for the built-in formats live here and are
 wired up by :mod:`repro.formats.specs`.
+
+Integrity and fault hooks: every blob written gains the CRC32 footer
+and every blob loaded is verified against it
+(:class:`~repro.errors.IntegrityError` on mismatch) — including each
+nested shard section of a sharded container, so the lazy serving path
+checks exactly the bytes it read.  File reads pass through
+:func:`repro.resilience.faults.on_read`, the monkeypatch-free hook the
+chaos battery injects corruption/truncation/delays through.
 
 Blocked payloads store the shared distinct-value array ``V`` once and
 the per-block structures without it, matching the in-memory sharing of
@@ -43,6 +54,13 @@ from repro.errors import (
     MatrixFormatError,
     SerializationError,
     TruncatedPayloadError,
+)
+from repro.resilience import faults as _faults
+from repro.resilience.integrity import (
+    INTEGRITY_UNVERIFIED,
+    append_footer,
+    file_integrity,
+    verify_blob,
 )
 
 _MAGIC = b"GCMX"
@@ -117,13 +135,20 @@ def saves_matrix(matrix: Any) -> bytes:
         raise SerializationError(
             f"format {spec.name!r} has no serialization codec"
         )
-    return _header(spec.kind) + spec.encode(matrix)
+    return append_footer(_header(spec.kind) + spec.encode(matrix))
 
 
 def loads_matrix(data: bytes) -> Any:
-    """Inverse of :func:`saves_matrix`."""
+    """Inverse of :func:`saves_matrix`.
+
+    The checksum footer (when present) is verified and stripped before
+    decoding — corrupt bytes raise
+    :class:`~repro.errors.IntegrityError` instead of surfacing as a
+    confusing decode failure deeper in the payload.
+    """
     from repro import formats
 
+    data, _integrity = verify_blob(data)
     kind, pos = _read_header(data)
     spec = formats.by_kind(kind)
     if spec.decode is None:
@@ -142,9 +167,17 @@ def save_matrix(matrix: Any, path: Any) -> None:
 
 
 def load_matrix(path: Any) -> Any:
-    """Deserialize from a file."""
+    """Deserialize from a file.
+
+    The raw bytes pass through the fault-injection hook
+    (:func:`repro.resilience.faults.on_read`) before decoding, so the
+    chaos battery can corrupt, truncate, delay, or fail this exact
+    read without monkeypatching.
+    """
     with open(path, "rb") as fh:
-        return loads_matrix(fh.read())
+        blob = fh.read()
+    blob = _faults.on_read(_faults.SITE_LOAD_MATRIX, path, blob)
+    return loads_matrix(blob)
 
 
 #: Bytes of prefix that always suffice for :func:`peek_matrix_info`
@@ -161,29 +194,38 @@ def peek_matrix_info(data: bytes) -> dict:
     dict with ``kind`` and ``shape``, plus per-format extras
     (``variant`` / ``c_length`` / ``n_rules`` for grammar payloads,
     ``n_blocks`` for blocked ones, ``n_groups`` for CLA, ``nnz`` for
-    the CSR family).
+    the CSR family), plus ``integrity`` — ``"verified"`` when the blob
+    ends in a matching checksum footer, ``"unverified"`` when the
+    footer is absent (pre-footer payloads and prefix-only peeks).
     """
     from repro import formats
 
+    data, integrity = verify_blob(data)
     kind, pos = _read_header(data)
     spec = formats.by_kind(kind)
     if spec.peek is None:
         raise SerializationError(f"format {spec.name!r} has no header peek")
     with _payload_guard(kind, f"peek {spec.name!r}"):
-        return spec.peek(data, pos)
+        info = spec.peek(data, pos)
+    info["integrity"] = integrity
+    return info
 
 
 def read_matrix_info(path: Any) -> dict:
     """:func:`peek_matrix_info` for a file, plus its ``file_bytes``.
 
     Reads only a small prefix — listing a directory of large ``.gcmx``
-    files stays cheap.
+    files stays cheap.  ``integrity`` upgrades to ``"present"`` when
+    the file's last bytes carry a checksum footer (an 8-byte tail
+    probe; full verification is ``repro verify``).
     """
     import os
 
     with open(path, "rb") as fh:
         prefix = fh.read(PEEK_PREFIX_BYTES)
     info = peek_matrix_info(prefix)
+    if info.get("integrity") == INTEGRITY_UNVERIFIED:
+        info["integrity"] = file_integrity(path)
     info["file_bytes"] = int(os.path.getsize(path))
     return info
 
@@ -712,8 +754,18 @@ def read_shard_manifest(
     Reads only the manifest region — shard sections are not touched —
     so opening a large container for lazy serving costs a few hundred
     bytes of IO.  Entry offsets are absolute file offsets.
+
+    A corrupt manifest fails *typed* and *bounded*: an absurd shard
+    count from a damaged varint raises
+    :class:`~repro.errors.TruncatedPayloadError` instead of driving an
+    unbounded refill read, and a manifest whose sections extend past
+    the end of the file is rejected here rather than surfacing later
+    as a short read inside a lazy shard load.
     """
     with open(path, "rb") as fh:
+        fh.seek(0, 2)
+        file_size = fh.tell()
+        fh.seek(0)
         head = fh.read(PEEK_PREFIX_BYTES)
         kind, payload_pos = _read_header(head)
         if kind != KIND_SHARDED:
@@ -723,13 +775,29 @@ def read_shard_manifest(
         with _payload_guard(KIND_SHARDED, "read shard manifest of"):
             _shape, pos = _get_shape(head, payload_pos)
             n_shards, pos = decode_uvarint(head, pos)
+            # Each shard needs ≥ 2 manifest bytes, so a count beyond
+            # file_size / 2 can only come from corrupt varint bytes.
+            if n_shards < 1 or 2 * n_shards > file_size:
+                raise TruncatedPayloadError(
+                    f"shard manifest of {path} claims {n_shards} shards "
+                    f"in a {file_size}-byte file (corrupt count)",
+                    kind=KIND_SHARDED,
+                )
             # Refill enough for the table: 2 varints (≤ 10 bytes each)
-            # per shard.
-            needed = pos + 20 * n_shards
+            # per shard, never past the end of the file.
+            needed = min(pos + 20 * n_shards, file_size)
             if needed > len(head):
                 head += fh.read(needed - len(head))
     with _payload_guard(KIND_SHARDED, "read shard manifest of"):
         shape, entries, _ = _read_shard_table(head, payload_pos)
+    last = entries[-1]
+    if last.offset + last.length > file_size:
+        raise TruncatedPayloadError(
+            f"shard manifest of {path} places sections through byte "
+            f"{last.offset + last.length} of a {file_size}-byte file "
+            f"(truncated container)",
+            kind=KIND_SHARDED,
+        )
     return shape, entries
 
 

@@ -1,0 +1,294 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+The chaos battery (and the ``chaos-smoke`` CI job) needs to make the
+stack fail *on purpose* — a corrupt shard byte, a truncated payload, a
+load that outlives its deadline, a worker thread dying mid-job —
+without monkeypatching internals.  The instrumented modules call two
+module-level hooks:
+
+- :func:`on_read` — :func:`repro.io.serialize.load_matrix` and the
+  lazy shard loader pass every blob they read through it;
+- :func:`before_worker_run` — :class:`repro.serve.jobs.JobManager`
+  calls it as a worker picks up a job.
+
+Both are no-ops (one ``None`` check) unless a :class:`FaultPlan` is
+installed via :func:`install_fault_plan` or the
+:func:`fault_injection` context manager.  A plan is a list of
+:class:`FaultRule` entries — *corrupt-bytes*, *truncate*, *slow-load*,
+*fail-N-times*, *worker-death* — matched by substring against
+``site:key`` (e.g. ``"shard.load:/store/m.gcmx#shard1"``), each firing
+at most ``times`` times.  Everything derived from randomness (which
+byte to corrupt) comes from the plan's seed, so a failing chaos
+scenario replays byte-identically.
+
+Worker death is simulated with :class:`WorkerDeathFault`, a
+``BaseException`` subclass: it sails through the job layer's
+``except Exception`` boundary exactly like a real crash would, leaving
+the job ``running`` with no thread behind it — which is precisely the
+state the watchdog exists to detect.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import threading
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+#: Fault kinds a :class:`FaultRule` can carry.
+FAULT_KINDS = ("corrupt", "truncate", "slow", "fail", "kill_worker")
+
+#: Hook sites the instrumented modules report (for matching/docs).
+SITE_LOAD_MATRIX = "io.load_matrix"
+SITE_SHARD_LOAD = "shard.load"
+SITE_JOB_RUN = "jobs.run"
+
+
+class WorkerDeathFault(BaseException):
+    """Simulated hard crash of a worker thread.
+
+    Deliberately **not** an :class:`Exception`: the job runner's
+    documented ``except Exception`` boundary must not absorb it, so
+    the thread dies mid-job exactly as it would on a real crash.
+    """
+
+
+def _default_exc() -> BaseException:
+    return OSError("injected transient fault")
+
+
+@dataclass
+class FaultRule:
+    """One injection rule: what to do, where, and how many times."""
+
+    kind: str
+    match: str = ""
+    times: int | None = None  #: fire at most N times (``None`` = always)
+    seconds: float = 0.0      #: slow: injected delay
+    keep: int = 16            #: truncate: bytes of the blob to keep
+    offset: int | None = None  #: corrupt: explicit byte offset (else seeded)
+    exc: Callable[[], BaseException] = field(default=_default_exc)
+    fired: int = 0            #: times this rule has fired (observability)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+
+    def matches(self, target: str) -> bool:
+        return self.match in target
+
+    def exhausted(self) -> bool:
+        return self.times is not None and self.fired >= self.times
+
+
+class FaultPlan:
+    """A seeded, ordered set of :class:`FaultRule` entries.
+
+    Build with the fluent helpers (each returns ``self``)::
+
+        plan = (
+            FaultPlan(seed=7)
+            .fail("shard.load", times=2)          # two transient IO errors
+            .corrupt_bytes("m.gcmx#shard1")       # then persistent corruption
+            .slow_load("covtype", seconds=0.5)
+            .kill_worker("pagerank")
+        )
+        with fault_injection(plan):
+            ...
+
+    The plan records every firing in :attr:`events` as
+    ``(site, key, kind)`` tuples so tests can assert exactly which
+    faults were exercised.
+    """
+
+    def __init__(self, seed: int = 0, rules: list[FaultRule] | None = None):
+        self.seed = int(seed)
+        self.rules: list[FaultRule] = list(rules or [])
+        self.events: list[tuple[str, str, str]] = []
+
+    # -- fluent builders ---------------------------------------------------------
+
+    def add(self, rule: FaultRule) -> FaultPlan:
+        self.rules.append(rule)
+        return self
+
+    def corrupt_bytes(
+        self, match: str, offset: int | None = None, times: int | None = None
+    ) -> FaultPlan:
+        """Flip one byte of matching blobs (position seeded or explicit)."""
+        return self.add(
+            FaultRule("corrupt", match=match, offset=offset, times=times)
+        )
+
+    def truncate(
+        self, match: str, keep: int = 16, times: int | None = None
+    ) -> FaultPlan:
+        """Cut matching blobs down to their first ``keep`` bytes."""
+        return self.add(FaultRule("truncate", match=match, keep=keep, times=times))
+
+    def slow_load(
+        self, match: str, seconds: float, times: int | None = None
+    ) -> FaultPlan:
+        """Delay matching reads by ``seconds`` (deadline-expiry scenarios)."""
+        return self.add(FaultRule("slow", match=match, seconds=seconds, times=times))
+
+    def fail(
+        self,
+        match: str,
+        times: int | None = 1,
+        exc: Callable[[], BaseException] = _default_exc,
+    ) -> FaultPlan:
+        """Raise ``exc()`` on matching reads, ``times`` times (fail-N)."""
+        return self.add(FaultRule("fail", match=match, times=times, exc=exc))
+
+    def kill_worker(self, match: str = "", times: int | None = 1) -> FaultPlan:
+        """Kill the worker thread that picks up a matching job."""
+        return self.add(FaultRule("kill_worker", match=match, times=times))
+
+    # -- application (called under the module lock) ------------------------------
+
+    def _corrupt_position(self, key: str, length: int) -> int:
+        """Seeded, key-stable byte position inside the blob body.
+
+        Stays after the 6-byte GCMX header and before the 8-byte
+        checksum footer when the blob is long enough, so corruption
+        lands on *payload* bytes and surfaces as an
+        :class:`~repro.errors.IntegrityError`, not a broken frame.
+        """
+        lo = 6 if length > 20 else 0
+        hi = length - 8 if length > 20 else length
+        digest = hashlib.blake2b(
+            f"{self.seed}:{key}".encode(), digest_size=8
+        ).digest()
+        return lo + int.from_bytes(digest, "little") % max(1, hi - lo)
+
+    def _apply_read_locked(
+        self, site: str, key: str, blob: bytes
+    ) -> tuple[bytes, float, BaseException | None]:
+        """``(blob, delay_seconds, exc_or_None)`` for one read.
+
+        Pure bookkeeping — the caller sleeps/raises *outside* the
+        module lock, so one injected slow load never stalls fault
+        application (or healthy loads) on other threads.
+        """
+        target = f"{site}:{key}"
+        delay = 0.0
+        for rule in self.rules:
+            if rule.exhausted() or not rule.matches(target):
+                continue
+            if rule.kind == "slow":
+                rule.fired += 1
+                self.events.append((site, key, "slow"))
+                delay += rule.seconds
+            elif rule.kind == "fail":
+                rule.fired += 1
+                self.events.append((site, key, "fail"))
+                return blob, delay, rule.exc()
+            elif rule.kind == "truncate":
+                rule.fired += 1
+                self.events.append((site, key, "truncate"))
+                blob = blob[: rule.keep]
+            elif rule.kind == "corrupt":
+                rule.fired += 1
+                self.events.append((site, key, "corrupt"))
+                pos = (
+                    rule.offset
+                    if rule.offset is not None
+                    else self._corrupt_position(key, len(blob))
+                )
+                if len(blob) > 0:
+                    pos = min(pos, len(blob) - 1)
+                    blob = blob[:pos] + bytes([blob[pos] ^ 0xFF]) + blob[pos + 1 :]
+        return blob, delay, None
+
+    def _should_kill_locked(self, site: str, key: str) -> bool:
+        target = f"{site}:{key}"
+        for rule in self.rules:
+            if (
+                rule.kind == "kill_worker"
+                and not rule.exhausted()
+                and rule.matches(target)
+            ):
+                rule.fired += 1
+                self.events.append((site, key, "kill_worker"))
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Installation and hook points
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_ACTIVE: FaultPlan | None = None
+
+
+def install_fault_plan(plan: FaultPlan) -> None:
+    """Make ``plan`` the active plan (replaces any previous one)."""
+    global _ACTIVE
+    with _LOCK:
+        _ACTIVE = plan
+
+
+def uninstall_fault_plan() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global _ACTIVE
+    with _LOCK:
+        _ACTIVE = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def fault_injection(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block."""
+    install_fault_plan(plan)
+    try:
+        yield plan
+    finally:
+        uninstall_fault_plan()
+
+
+def on_read(site: str, key: Any, blob: bytes) -> bytes:
+    """Hook: pass a freshly read blob through the active plan.
+
+    Called by :func:`repro.io.serialize.load_matrix` and the lazy
+    shard loader; with no plan installed this is one attribute read
+    and a ``None`` check.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return blob
+    with _LOCK:
+        blob, delay, exc = plan._apply_read_locked(site, str(key), blob)
+    if delay > 0:
+        time.sleep(delay)
+    if exc is not None:
+        raise exc
+    return blob
+
+
+def before_worker_run(site: str, key: Any) -> None:
+    """Hook: maybe kill the calling worker thread (job layer).
+
+    Raises :class:`WorkerDeathFault` — a ``BaseException`` — when a
+    matching *worker-death* rule fires.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    with _LOCK:
+        kill = plan._should_kill_locked(site, str(key))
+    if kill:
+        raise WorkerDeathFault(f"injected worker death at {site}:{key}")

@@ -1,0 +1,171 @@
+"""CRC32 payload integrity for GCMX blobs.
+
+Every blob :func:`repro.io.serialize.saves_matrix` produces now ends
+with an 8-byte footer::
+
+    ... header + payload ...   (exactly the pre-footer byte stream)
+    magic  b"GXCF"
+    crc32  u32 little-endian — zlib.crc32 over everything before the
+           footer (header included)
+
+The footer is strictly additive: the bytes before it are identical to
+the pre-footer format, every decoder reads the body only, and a blob
+*without* the footer still loads — it just reports
+``integrity="unverified"`` instead of ``"verified"``.  Sharded
+containers get the check at both granularities: the outer blob carries
+a footer over the whole file, and each nested shard section is itself
+a complete footered blob, so a lazy per-shard load verifies exactly
+the bytes it read.
+
+A corrupted body raises :class:`~repro.errors.IntegrityError` carrying
+the expected/actual CRC and the source label, which is what the
+serving layer's breakers key on to quarantine the broken unit.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import IntegrityError
+
+#: Trailing magic identifying a checksum footer ("GCMX Checksum Footer").
+FOOTER_MAGIC = b"GXCF"
+
+#: Total footer size: 4 magic bytes + 4 CRC bytes.
+FOOTER_BYTES = 8
+
+#: ``integrity`` states reported by info dicts and ``repro verify``.
+INTEGRITY_VERIFIED = "verified"      #: footer present, CRC checked OK
+INTEGRITY_PRESENT = "present"        #: footer present, CRC not yet checked
+INTEGRITY_UNVERIFIED = "unverified"  #: pre-footer payload, nothing to check
+
+#: A GCMX body is at least magic (4) + version/kind (2) bytes; anything
+#: shorter cannot also carry a footer, so it is never split.
+_MIN_BODY = 6
+
+
+def payload_crc(body: bytes) -> int:
+    """The checksum the footer stores for ``body``."""
+    return zlib.crc32(body) & 0xFFFFFFFF
+
+
+def append_footer(body: bytes) -> bytes:
+    """Return ``body`` with its checksum footer appended."""
+    return body + FOOTER_MAGIC + struct.pack("<I", payload_crc(body))
+
+
+def split_footer(data: bytes) -> tuple[bytes, int | None]:
+    """``(body, stored_crc)`` — ``(data, None)`` when no footer is present.
+
+    Detection is by the trailing magic; a pre-footer blob whose last
+    bytes coincidentally match has a 2^-32 chance of a false split,
+    which then fails the CRC comparison rather than decoding garbage.
+    """
+    if len(data) >= _MIN_BODY + FOOTER_BYTES and data[-8:-4] == FOOTER_MAGIC:
+        return data[:-8], struct.unpack("<I", data[-4:])[0]
+    return data, None
+
+
+def strip_footer(data: bytes) -> bytes:
+    """The body bytes, with the footer (if any) removed — no CRC check."""
+    return split_footer(data)[0]
+
+
+def has_footer(data: bytes) -> bool:
+    """Whether ``data`` carries a checksum footer."""
+    return split_footer(data)[1] is not None
+
+
+def verify_blob(data: bytes, source: Any = None) -> tuple[bytes, str]:
+    """Check ``data``'s footer and return ``(body, integrity_state)``.
+
+    Footer-less input passes through untouched as
+    :data:`INTEGRITY_UNVERIFIED`; a footer with a matching CRC yields
+    :data:`INTEGRITY_VERIFIED`; a mismatch raises
+    :class:`~repro.errors.IntegrityError`.  A blob whose *footer* was
+    truncated (the magic appears in the tail but not where a complete
+    footer would put it) is also rejected — otherwise a short write
+    that clipped only checksum bytes would masquerade as a pre-footer
+    payload and skip verification.
+    """
+    body, stored = split_footer(data)
+    if stored is None:
+        if len(data) > _MIN_BODY and FOOTER_MAGIC in data[-(FOOTER_BYTES + 3):]:
+            where = f" in {source}" if source is not None else ""
+            raise IntegrityError(
+                f"checksum footer is truncated{where}: magic "
+                f"{FOOTER_MAGIC!r} found in the tail but the blob ends "
+                f"before the CRC",
+                source=str(source) if source is not None else None,
+            )
+        return data, INTEGRITY_UNVERIFIED
+    actual = payload_crc(body)
+    if actual != stored:
+        where = f" in {source}" if source is not None else ""
+        raise IntegrityError(
+            f"payload checksum mismatch{where}: footer says "
+            f"{stored:#010x}, bytes hash to {actual:#010x}",
+            expected=stored,
+            actual=actual,
+            source=str(source) if source is not None else None,
+        )
+    return body, INTEGRITY_VERIFIED
+
+
+def file_integrity(path: Any) -> str:
+    """Cheap footer *presence* probe: reads only the last 8 bytes.
+
+    Listing a registry directory must stay O(header) per file, so this
+    never hashes the body — it answers :data:`INTEGRITY_PRESENT` or
+    :data:`INTEGRITY_UNVERIFIED`; full verification is
+    :func:`verify_file` (the ``repro verify`` command).
+    """
+    with open(path, "rb") as fh:
+        fh.seek(0, 2)
+        size = fh.tell()
+        if size < _MIN_BODY + FOOTER_BYTES:
+            return INTEGRITY_UNVERIFIED
+        fh.seek(size - FOOTER_BYTES)
+        tail = fh.read(FOOTER_BYTES)
+    if tail[:4] == FOOTER_MAGIC:
+        return INTEGRITY_PRESENT
+    return INTEGRITY_UNVERIFIED
+
+
+def verify_file(path: Any, deep: bool = True) -> dict[str, Any]:
+    """Fully verify one ``.gcmx`` file; raises on corruption.
+
+    Returns a report dict: ``integrity`` (whole-file state),
+    ``file_bytes``, and for sharded containers with ``deep=True`` a
+    ``shards`` list with each section's own state (nested footers are
+    checked section by section, exactly as the lazy serving path
+    would).  :class:`~repro.errors.IntegrityError` on any mismatch;
+    other :class:`~repro.errors.SerializationError` subclasses
+    propagate for structurally broken files.
+    """
+    from repro import formats
+    from repro.io.serialize import KIND_SHARDED, _read_header, _read_shard_table
+
+    with open(path, "rb") as fh:
+        data = fh.read()
+    body, state = verify_blob(data, source=path)
+    report: dict[str, Any] = {
+        "path": str(path),
+        "file_bytes": len(data),
+        "integrity": state,
+    }
+    kind, pos = _read_header(body)
+    report["kind"] = formats.by_kind(kind).name
+    if deep and kind == KIND_SHARDED:
+        _shape, entries, _ = _read_shard_table(body, pos)
+        shard_states = []
+        for entry in entries:
+            section = data[entry.offset : entry.offset + entry.length]
+            _, shard_state = verify_blob(
+                section, source=f"{path}#shard{entry.index}"
+            )
+            shard_states.append(shard_state)
+        report["shards"] = shard_states
+    return report

@@ -23,11 +23,23 @@ open.  This module is the serving engine's job layer:
 Everything is stdlib (``queue`` + ``threading``); jobs live in memory
 for the server's lifetime, bounded by ``max_jobs`` retained records
 (oldest *finished* jobs are dropped first, like the latency windows).
+
+The pool is self-healing: a *watchdog* thread notices worker threads
+that died mid-job (a hard crash sails through ``_run``'s
+``except Exception`` boundary — :class:`~repro.resilience.faults`
+simulates exactly this), fails the orphaned job with a typed
+:class:`~repro.errors.WorkerLostError` message instead of leaving it
+``running`` forever, and starts a replacement worker.  ``close()``
+joins with a timeout and *counts* workers that failed to stop
+(``leaked_workers`` in :meth:`stats`) rather than silently leaking
+them.  Jobs may carry a ``deadline_ms`` budget; the solver checks it
+every iteration (:func:`repro.resilience.policy.deadline_scope`).
 """
 
 from __future__ import annotations
 
 import itertools
+import logging
 import queue
 import threading
 from collections import OrderedDict
@@ -35,6 +47,10 @@ from time import perf_counter, time
 from typing import Any
 
 from repro.errors import ReproError, SerializationError, SolveError
+from repro.resilience import faults as _faults
+from repro.resilience.policy import Deadline, deadline_scope
+
+_LOG = logging.getLogger("repro.serve.jobs")
 
 #: Lifecycle states a job moves through (in order; ``failed`` is the
 #: error terminal).
@@ -48,12 +64,18 @@ class Job:
     """One submitted solver run and its lifecycle record."""
 
     def __init__(
-        self, job_id: str, algorithm: str, matrix: str, params: dict
+        self,
+        job_id: str,
+        algorithm: str,
+        matrix: str,
+        params: dict,
+        deadline_ms: int | None = None,
     ) -> None:
         self.id = job_id
         self.algorithm = algorithm
         self.matrix = matrix
         self.params = params
+        self.deadline_ms = deadline_ms
         self.status = "queued"
         self.submitted_at = time()
         self.started_at: float | None = None
@@ -79,6 +101,8 @@ class Job:
             "finished_at": self.finished_at,
             "seconds": self.seconds,
         }
+        if self.deadline_ms is not None:
+            out["deadline_ms"] = self.deadline_ms
         if self.error is not None:
             out["error"] = self.error
         if include_result and self.result is not None:
@@ -103,6 +127,11 @@ class JobManager:
     max_jobs:
         Retained job records; the oldest finished jobs are dropped
         beyond this (running/queued jobs are never dropped).
+    watchdog_interval:
+        Seconds between watchdog sweeps for dead workers.
+    join_timeout:
+        Seconds :meth:`close` waits per worker before declaring it
+        leaked.
     """
 
     def __init__(
@@ -111,6 +140,8 @@ class JobManager:
         executor: Any = None,
         workers: int = 1,
         max_jobs: int = DEFAULT_MAX_JOBS,
+        watchdog_interval: float = 1.0,
+        join_timeout: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ReproError(f"job workers must be >= 1, got {workers}")
@@ -120,45 +151,127 @@ class JobManager:
         self.executor = executor
         self.workers = int(workers)
         self.max_jobs = int(max_jobs)
+        self.watchdog_interval = float(watchdog_interval)
+        self.join_timeout = float(join_timeout)
         self._lock = threading.Lock()
         self._jobs: OrderedDict[str, Job] = OrderedDict()
         self._queue: queue.Queue[Job | None] = queue.Queue()
         self._ids = itertools.count(1)
+        self._thread_seq = itertools.count()
         self._threads: list[threading.Thread] = []
+        #: thread name → the job that thread is currently running.
+        self._active: dict[str, Job] = {}
+        self._watchdog_thread: threading.Thread | None = None
+        self._stop = threading.Event()
         self._closed = False
         self.submitted = 0
         self.completed = 0
         self.failed = 0
+        self.workers_restarted = 0
+        self.jobs_orphaned = 0
+        self.leaked_workers = 0
 
     # -- lifecycle ---------------------------------------------------------------
+
+    def _spawn_worker_locked(self) -> None:
+        """Start one worker thread (caller holds the lock)."""
+        thread = threading.Thread(
+            target=self._worker,
+            name=f"repro-job-{next(self._thread_seq)}",
+            daemon=True,
+        )
+        thread.start()
+        self._threads.append(thread)
 
     def _ensure_workers_locked(self) -> None:
         """Start the worker pool on first use (caller holds the lock)."""
         if self._threads:
             return
-        for i in range(self.workers):
-            thread = threading.Thread(
-                target=self._worker, name=f"repro-job-{i}", daemon=True
+        for _ in range(self.workers):
+            self._spawn_worker_locked()
+        if self._watchdog_thread is None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog, name="repro-job-watchdog", daemon=True
             )
-            thread.start()
-            self._threads.append(thread)
+            self._watchdog_thread.start()
 
     def close(self) -> None:
-        """Stop the workers (running jobs finish; queued jobs drain)."""
+        """Stop the workers (running jobs finish; queued jobs drain).
+
+        Joins each worker with ``join_timeout``; a worker still alive
+        after that (a hung solver) is *counted* as leaked
+        (``leaked_workers`` in :meth:`stats`) and logged — the daemon
+        thread cannot be killed, but it must not go unnoticed.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             threads, self._threads = self._threads, []
+        self._stop.set()
         for _ in threads:
             self._queue.put(None)
         for thread in threads:
-            thread.join(timeout=5)
+            thread.join(timeout=self.join_timeout)
+            if thread.is_alive():
+                with self._lock:
+                    self.leaked_workers += 1
+                _LOG.warning(
+                    "job worker %s failed to stop within %.1fs and was "
+                    "leaked", thread.name, self.join_timeout,
+                )
+        watchdog = self._watchdog_thread
+        if watchdog is not None:
+            watchdog.join(timeout=self.join_timeout)
+
+    # -- watchdog ---------------------------------------------------------------
+
+    def _watchdog(self) -> None:
+        """Reap dead workers: fail their orphaned jobs, start spares."""
+        while not self._stop.wait(self.watchdog_interval):
+            self._reap_dead_workers()
+
+    def _reap_dead_workers(self) -> None:
+        """One watchdog sweep (separate method so tests can force it)."""
+        with self._lock:
+            if self._closed:
+                return
+            dead = [t for t in self._threads if not t.is_alive()]
+            for thread in dead:
+                self._threads.remove(thread)
+                orphan = self._active.pop(thread.name, None)
+                if orphan is not None and orphan.status == "running":
+                    orphan.error = (
+                        "WorkerLostError: worker thread "
+                        f"{thread.name} died while running this job"
+                    )
+                    orphan.finished_at = time()
+                    if orphan.started_at is not None:
+                        orphan.seconds = orphan.finished_at - orphan.started_at
+                    orphan.status = "failed"
+                    self.failed += 1
+                    self.jobs_orphaned += 1
+                    _LOG.warning(
+                        "worker %s died mid-job; failed orphaned job %s",
+                        thread.name, orphan.id,
+                    )
+                self._spawn_worker_locked()
+                self.workers_restarted += 1
 
     # -- submission and lookup ------------------------------------------------------
 
-    def submit(self, algorithm: str, matrix: str, params: dict | None = None) -> Job:
+    def submit(
+        self,
+        algorithm: str,
+        matrix: str,
+        params: dict | None = None,
+        deadline_ms: int | None = None,
+    ) -> Job:
         """Queue one solver run; returns the (already-listed) job.
+
+        ``deadline_ms`` caps the job's execution time: the solver
+        checks the budget every iteration and the job fails with a
+        typed ``DeadlineExceededError`` record when it expires.
 
         Raises the typed errors the HTTP layer maps to 4xx responses:
         :class:`~repro.errors.UnknownAlgorithmError` for a bad
@@ -183,10 +296,22 @@ class JobManager:
                     f"params may not carry {reserved!r}; the server's "
                     "own executor and plan-retention policy apply"
                 )
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, int) or isinstance(deadline_ms, bool):
+                raise SolveError(
+                    f"deadline_ms must be an integer, got {deadline_ms!r}"
+                )
+            if deadline_ms < 1:
+                raise SolveError(
+                    f"deadline_ms must be >= 1, got {deadline_ms}"
+                )
         with self._lock:
             if self._closed:
                 raise ReproError("job manager is closed")
-            job = Job(f"job-{next(self._ids)}", algorithm, matrix, params)
+            job = Job(
+                f"job-{next(self._ids)}", algorithm, matrix, params,
+                deadline_ms=deadline_ms,
+            )
             self._jobs[job.id] = job
             self.submitted += 1
             self._trim()
@@ -226,38 +351,61 @@ class JobManager:
             job = self._queue.get()
             if job is None:
                 return
-            self._run(job)
+            try:
+                self._run(job)
+            except _faults.WorkerDeathFault:
+                # Simulated hard crash: the thread exits with the job
+                # still "running" and its ``_active`` entry in place —
+                # exactly the orphan state the watchdog must detect.
+                return
 
     def _run(self, job: Job) -> None:
         from repro.solve.api import solve
 
+        thread_name = threading.current_thread().name
+        with self._lock:
+            self._active[thread_name] = job
         job.status = "running"
         job.started_at = time()
+        # Worker-death injection point: WorkerDeathFault is a
+        # BaseException, so neither this method's except-Exception
+        # boundary nor the solver can absorb it.
+        _faults.before_worker_run(
+            _faults.SITE_JOB_RUN, f"{job.algorithm}:{job.matrix}"
+        )
         start = perf_counter()
         payload = error = None
+        deadline = (
+            Deadline.after(job.deadline_ms / 1000.0)
+            if job.deadline_ms is not None
+            else None
+        )
         try:
-            matrix = self.registry.get(job.matrix)
-            # Follow the registry's plan-retention setting: a server
-            # started with --no-plan-cache must not have jobs silently
-            # re-enable retention (and grow uncharged plan memory) on
-            # its resident matrices.
-            run_params = {
-                "retain_plans": getattr(self.registry, "retain_plans", True),
-                **job.params,
-            }
-            result = solve(
-                matrix,
-                algorithm=job.algorithm,
-                executor=self.executor,
-                **run_params,
-            )
-            payload = result.to_payload()
+            with deadline_scope(deadline):
+                matrix = self.registry.get(job.matrix)
+                # Follow the registry's plan-retention setting: a server
+                # started with --no-plan-cache must not have jobs silently
+                # re-enable retention (and grow uncharged plan memory) on
+                # its resident matrices.
+                run_params = {
+                    "retain_plans": getattr(self.registry, "retain_plans", True),
+                    **job.params,
+                }
+                result = solve(
+                    matrix,
+                    algorithm=job.algorithm,
+                    executor=self.executor,
+                    **run_params,
+                )
+                payload = result.to_payload()
         except Exception as exc:  # noqa: BLE001 — a job must not kill its worker
             # TypeError covers unknown algorithm kwargs in params — a
             # client mistake recorded on the job; anything rarer is
             # recorded the same way so the job never polls as
             # "running" forever over a dead thread.
             error = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            self._active.pop(thread_name, None)
         # ``status`` is the publication point pollers key off, so every
         # other field is in place before it flips to a terminal state.
         job.seconds = perf_counter() - start
@@ -295,4 +443,7 @@ class JobManager:
                 "queued": by_state["queued"],
                 "running": by_state["running"],
                 "retained": len(self._jobs),
+                "workers_restarted": self.workers_restarted,
+                "jobs_orphaned": self.jobs_orphaned,
+                "leaked_workers": self.leaked_workers,
             }

@@ -46,8 +46,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.errors import ReproError, SerializationError
+from repro.errors import DeadlineExceededError, ReproError, SerializationError
 from repro.io.serialize import format_of_info, load_matrix, read_matrix_info
+from repro.resilience.policy import (
+    STATE_CLOSED,
+    STATE_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+)
 
 #: File suffix scanned by :meth:`MatrixRegistry.scan`.
 GCMX_SUFFIX = ".gcmx"
@@ -90,6 +96,8 @@ class RegistryEntry:
     resident_bytes: int = 0
     #: serialises concurrent cold loads of this one entry.
     load_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: guards this entry's load path (set by ``register``).
+    breaker: CircuitBreaker | None = None
 
     @property
     def resident(self) -> bool:
@@ -128,12 +136,20 @@ class MatrixRegistry:
         byte_budget: int | None = None,
         retain_plans: bool = True,
         lazy_shards: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 30.0,
     ) -> None:
         if byte_budget is not None and byte_budget < 1:
             raise ReproError(f"byte_budget must be >= 1, got {byte_budget}")
         self._budget = byte_budget
         self._retain_plans = bool(retain_plans)
         self._lazy_shards = bool(lazy_shards)
+        self._retry = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.25
+        )
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset = float(breaker_reset)
         self._lock = threading.RLock()
         #: access-ordered: least recently used first.
         self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
@@ -141,10 +157,14 @@ class MatrixRegistry:
         self.misses = 0
         self.loads = 0
         self.evictions = 0
+        self.load_retries = 0
+        self.load_failures = 0
         # Shard counters of lazy sharded matrices that were since
         # whole-evicted — folded in here so /stats never goes backwards.
         self._shard_loads_absorbed = 0
         self._shard_evictions_absorbed = 0
+        self._shard_retries_absorbed = 0
+        self._shard_failures_absorbed = 0
         if root is not None:
             self.scan(root)
 
@@ -159,7 +179,18 @@ class MatrixRegistry:
         path = Path(path)
         info = read_matrix_info(path)
         with self._lock:
-            entry = RegistryEntry(name=name, path=path, info=info)
+            entry = RegistryEntry(
+                name=name,
+                path=path,
+                info=info,
+                # Re-registration gets a fresh breaker: the file may
+                # have been replaced with a healthy one.
+                breaker=CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    reset_timeout=self._breaker_reset,
+                    name=f"matrix {name!r}",
+                ),
+            )
             self._entries[name] = entry
             self._entries.move_to_end(name, last=False)  # cold = LRU end
             return entry
@@ -197,13 +228,32 @@ class MatrixRegistry:
         with self._lock:
             return len(self._entries)
 
+    def _entry_state(self, entry: RegistryEntry) -> str:
+        """``healthy`` / ``degraded`` / ``quarantined`` for one entry.
+
+        The entry's own load breaker dominates (an open breaker means
+        the whole matrix fails fast); otherwise a resident matrix with
+        internal degradation (a lazy sharded matrix with quarantined
+        shards) reports its own state.
+        """
+        breaker = entry.breaker
+        if breaker is not None:
+            bstate = breaker.state
+            if bstate == STATE_OPEN:
+                return "quarantined"
+            if bstate != STATE_CLOSED or breaker.consecutive_failures > 0:
+                return "degraded"
+        inner = getattr(entry.matrix, "state", None) if entry.resident else None
+        return inner if isinstance(inner, str) else "healthy"
+
     def describe(self, name: str) -> dict:
-        """Header info plus residency for one matrix (no load)."""
+        """Header info plus residency and health for one matrix (no load)."""
         with self._lock:
             entry = self._require(name)
             out = {"name": name, "path": str(entry.path), **entry.info}
             out["format"] = format_of_info(entry.info)
             out["resident"] = entry.resident
+            out["state"] = self._entry_state(entry)
             if entry.resident:
                 self._refresh_residency(entry)
                 out["resident_bytes"] = entry.resident_bytes
@@ -237,6 +287,15 @@ class MatrixRegistry:
         requests for resident matrices are never stalled by a cold
         load; concurrent loads of the *same* matrix are serialised by
         the entry's own lock (one load, the rest wait and reuse it).
+
+        The load path is guarded: transient ``OSError`` reads retry
+        under the registry's :class:`~repro.resilience.policy.RetryPolicy`,
+        and every entry has a circuit breaker — after
+        ``breaker_threshold`` consecutive load failures the entry is
+        quarantined and requests fail fast with
+        :class:`~repro.errors.CircuitOpenError` (HTTP 503 +
+        ``Retry-After``) until the breaker half-opens.  Other entries
+        are unaffected: a corrupt file never takes the registry down.
         """
         with self._lock:
             entry = self._require(name)
@@ -250,13 +309,40 @@ class MatrixRegistry:
                     self.hits += 1
                     return entry.matrix
                 self.misses += 1
-            matrix = self._load_entry(entry)
-            if self._retain_plans:
-                # Served matrices multiply repeatedly: switch formats
-                # that rebuild their multiplication schedule per call
-                # into build-once retention *before* estimating
-                # residency, so the budget charge includes the plan.
-                matrix.enable_plan_retention(True)
+            breaker = entry.breaker
+            if breaker is not None:
+                breaker.allow()  # CircuitOpenError when quarantined
+
+            def _count_retry(_attempt: int, _exc: BaseException) -> None:
+                with self._lock:
+                    self.load_retries += 1
+
+            try:
+                matrix = self._retry.run(
+                    lambda: self._load_entry(entry),
+                    retry_on=(OSError,),
+                    no_retry=(DeadlineExceededError,),
+                    on_retry=_count_retry,
+                    label=f"load of matrix {name!r}",
+                )
+                if self._retain_plans:
+                    # Served matrices multiply repeatedly: switch formats
+                    # that rebuild their multiplication schedule per call
+                    # into build-once retention *before* estimating
+                    # residency, so the budget charge includes the plan.
+                    matrix.enable_plan_retention(True)
+            except DeadlineExceededError:
+                # The request ran out of budget — says nothing about
+                # the entry's health, so the breaker stays untouched.
+                raise
+            except (ReproError, OSError):
+                if breaker is not None:
+                    breaker.record_failure()
+                with self._lock:
+                    self.load_failures += 1
+                raise
+            if breaker is not None:
+                breaker.record_success()
             with self._lock:
                 entry.matrix = matrix
                 entry.resident_bytes = resident_estimate(matrix)
@@ -270,7 +356,11 @@ class MatrixRegistry:
             from repro.shard.matrix import LazyShardedMatrix
 
             return LazyShardedMatrix(
-                entry.path, shard_byte_budget=self._budget
+                entry.path,
+                shard_byte_budget=self._budget,
+                retry_policy=self._retry,
+                breaker_threshold=self._breaker_threshold,
+                breaker_reset=self._breaker_reset,
             )
         return load_matrix(entry.path)
 
@@ -287,6 +377,9 @@ class MatrixRegistry:
         if hasattr(matrix, "shard_loads"):
             self._shard_loads_absorbed += matrix.shard_loads  # ra: unlocked — both callers (evict, _evict_over_budget) hold self._lock
             self._shard_evictions_absorbed += matrix.shard_evictions  # ra: unlocked — both callers (evict, _evict_over_budget) hold self._lock
+        if hasattr(matrix, "shard_retries"):
+            self._shard_retries_absorbed += matrix.shard_retries  # ra: unlocked — both callers (evict, _evict_over_budget) hold self._lock
+            self._shard_failures_absorbed += matrix.shard_failures  # ra: unlocked — both callers (evict, _evict_over_budget) hold self._lock
 
     def evict(self, name: str) -> bool:
         """Drop ``name``'s resident matrix (keeps the registration)."""
@@ -370,7 +463,11 @@ class MatrixRegistry:
         with self._lock:
             shard_loads = self._shard_loads_absorbed
             shard_evictions = self._shard_evictions_absorbed
+            shard_retries = self._shard_retries_absorbed
+            shard_failures = self._shard_failures_absorbed
             resident_shards = 0
+            breaker_opens = 0
+            quarantined = degraded = 0
             for entry in self._entries.values():
                 if entry.matrix is not None and hasattr(
                     entry.matrix, "shard_loads"
@@ -378,6 +475,17 @@ class MatrixRegistry:
                     shard_loads += entry.matrix.shard_loads
                     shard_evictions += entry.matrix.shard_evictions
                     resident_shards += entry.matrix.resident_shards
+                matrix_stats = getattr(entry.matrix, "resilience_stats", None)
+                if matrix_stats is not None:
+                    inner = matrix_stats()
+                    shard_retries += inner["shard_retries"]
+                    shard_failures += inner["shard_failures"]
+                    breaker_opens += inner["breaker_opens"]
+                if entry.breaker is not None:
+                    breaker_opens += entry.breaker.opens
+                state = self._entry_state(entry)
+                quarantined += state == "quarantined"
+                degraded += state == "degraded"
             return {
                 "matrices": len(self._entries),
                 "resident": sum(e.resident for e in self._entries.values()),
@@ -388,8 +496,15 @@ class MatrixRegistry:
                 "resident_shards": resident_shards,
                 "shard_loads": shard_loads,
                 "shard_evictions": shard_evictions,
+                "shard_retries": shard_retries,
+                "shard_failures": shard_failures,
                 "hits": self.hits,
                 "misses": self.misses,
                 "loads": self.loads,
                 "evictions": self.evictions,
+                "load_retries": self.load_retries,
+                "load_failures": self.load_failures,
+                "breaker_opens": breaker_opens,
+                "quarantined": quarantined,
+                "degraded": degraded,
             }

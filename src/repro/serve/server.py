@@ -54,6 +54,8 @@ when ``workers > 1``.
 from __future__ import annotations
 
 import json
+import logging
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
@@ -61,12 +63,23 @@ from time import perf_counter
 import numpy as np
 
 from repro._version import __version__
-from repro.errors import ReproError, SerializationError, SolveError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    IntegrityError,
+    ReproError,
+    SerializationError,
+    ShardUnavailableError,
+    SolveError,
+)
+from repro.resilience.policy import Deadline, deadline_scope
 from repro.serve.batch import batch_left_multiply, batch_right_multiply
 from repro.serve.executor import BlockExecutor
 from repro.serve.jobs import JobManager
 from repro.serve.registry import MatrixRegistry
 from repro.serve.stats import ServeStats
+
+_LOG = logging.getLogger("repro.serve.server")
 
 #: Default TCP port (0 = ephemeral, used by tests).
 DEFAULT_PORT = 8753
@@ -84,11 +97,19 @@ DEFAULT_PANEL_WIDTH = 64
 
 
 class _RequestError(Exception):
-    """An HTTP error response with a status code and message."""
+    """An HTTP error response with a status code and message.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` (seconds, optional) becomes a ``Retry-After``
+    header — set on 503/504 responses so clients back off for exactly
+    the breaker/deadline interval instead of guessing.
+    """
+
+    def __init__(
+        self, status: int, message: str, retry_after: float | None = None
+    ):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class MatrixServer:
@@ -114,6 +135,14 @@ class MatrixServer:
         Background worker threads draining the ``/jobs`` queue — how
         many iterative solves run concurrently (they share this
         server's executor and registry budget).
+    request_deadline_ms:
+        Optional per-request time budget for ``/multiply``: shard
+        loads and the batched kernel check it, and an expired request
+        answers a typed 504 with ``Retry-After`` instead of holding
+        the connection (``repro serve --request-deadline-ms``).
+    join_timeout:
+        Seconds :meth:`close` waits for the serve thread (and each job
+        worker) before declaring it leaked.
     """
 
     def __init__(
@@ -125,14 +154,26 @@ class MatrixServer:
         max_vectors: int = DEFAULT_MAX_VECTORS,
         panel_width: int = DEFAULT_PANEL_WIDTH,
         job_workers: int = 1,
+        request_deadline_ms: int | None = None,
+        join_timeout: float = 5.0,
     ):
+        if request_deadline_ms is not None and request_deadline_ms < 1:
+            raise ReproError(
+                f"request_deadline_ms must be >= 1, got {request_deadline_ms}"
+            )
         self.registry = registry
         self.stats = ServeStats()
         self.max_vectors = int(max_vectors)
         self.panel_width = int(panel_width)
+        self.request_deadline_ms = request_deadline_ms
+        self.join_timeout = float(join_timeout)
+        self.leaked_threads = 0
         self.executor = BlockExecutor(workers) if workers > 1 else None
         self.jobs = JobManager(
-            registry, executor=self.executor, workers=job_workers
+            registry,
+            executor=self.executor,
+            workers=job_workers,
+            join_timeout=join_timeout,
         )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
@@ -167,11 +208,22 @@ class MatrixServer:
         return self
 
     def close(self) -> None:
-        """Stop serving and release the port, job workers, and pool."""
+        """Stop serving and release the port, job workers, and pool.
+
+        A serve thread that fails to join within ``join_timeout`` (a
+        request wedged past shutdown) is counted in
+        :attr:`leaked_threads` and logged instead of silently leaking.
+        """
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
-            self._thread.join(timeout=5)
+            self._thread.join(timeout=self.join_timeout)
+            if self._thread.is_alive():
+                self.leaked_threads += 1
+                _LOG.warning(
+                    "serve thread failed to stop within %.1fs and was "
+                    "leaked", self.join_timeout,
+                )
             self._thread = None
         self.jobs.close()
         if self.executor is not None:
@@ -201,7 +253,15 @@ class MatrixServer:
             "matrices": self.stats.snapshot(),
             "jobs": self.jobs.stats(),
             "workers": self.executor.workers if self.executor else 1,
+            "request_deadline_ms": self.request_deadline_ms,
+            "leaked_threads": self.leaked_threads,
         }
+
+    def _request_deadline(self) -> Deadline | None:
+        """A fresh deadline for one request (``None`` when unset)."""
+        if self.request_deadline_ms is None:
+            return None
+        return Deadline.after(self.request_deadline_ms / 1000.0)
 
     # -- job endpoints ---------------------------------------------------------------
 
@@ -219,7 +279,10 @@ class MatrixServer:
         if not isinstance(params, dict):
             raise _RequestError(400, "'params' must be a JSON object")
         try:
-            job = self.jobs.submit(algorithm, name, params)
+            job = self.jobs.submit(
+                algorithm, name, params,
+                deadline_ms=payload.get("deadline_ms"),
+            )
         except SerializationError as exc:  # unknown matrix / closed store
             raise _RequestError(404, str(exc)) from exc
         except SolveError as exc:  # UnknownAlgorithmError, bad params
@@ -240,7 +303,16 @@ class MatrixServer:
             raise _RequestError(404, str(exc)) from exc
 
     def multiply(self, payload: dict) -> dict:
-        """Answer one ``/multiply`` request (also records stats)."""
+        """Answer one ``/multiply`` request (also records stats).
+
+        Failures map to *typed* statuses: 404 unknown matrix, 400
+        client mistakes, 503 + ``Retry-After`` for quarantined or
+        corrupt resources (open breakers,
+        :class:`~repro.errors.IntegrityError`,
+        :class:`~repro.errors.ShardUnavailableError`), 504 +
+        ``Retry-After`` for an expired request deadline.  A failure of
+        one matrix never affects requests for others.
+        """
         if not isinstance(payload, dict):
             raise _RequestError(400, "request body must be a JSON object")
         name = payload.get("matrix")
@@ -254,32 +326,47 @@ class MatrixServer:
         if "vectors" not in payload:
             raise _RequestError(400, "missing field 'vectors'")
         start = perf_counter()
-        try:
-            matrix = self.registry.get(name)
-        except SerializationError as exc:
-            raise _RequestError(404, str(exc)) from exc
-        try:
-            panel = self._request_panel(matrix, payload["vectors"], op)
-            if panel.shape[1] > self.max_vectors:
-                raise _RequestError(
-                    400,
-                    f"request has {panel.shape[1]} vectors, limit is "
-                    f"{self.max_vectors}; split the batch",
+        with deadline_scope(self._request_deadline()):
+            try:
+                matrix = self.registry.get(name)
+            except IntegrityError as exc:
+                self.stats.record(name, None, error=True)
+                raise _RequestError(503, str(exc)) from exc
+            except SerializationError as exc:
+                raise _RequestError(404, str(exc)) from exc
+            except (ReproError, OSError) as exc:
+                self.stats.record(name, None, error=True)
+                raise self._unavailable(exc) from exc
+            try:
+                panel = self._request_panel(matrix, payload["vectors"], op)
+                if panel.shape[1] > self.max_vectors:
+                    raise _RequestError(
+                        400,
+                        f"request has {panel.shape[1]} vectors, limit is "
+                        f"{self.max_vectors}; split the batch",
+                    )
+                multiply = batch_right_multiply if op == "right" else batch_left_multiply
+                result = multiply(
+                    matrix, panel, executor=self.executor,
+                    panel_width=self.panel_width,
                 )
-            multiply = batch_right_multiply if op == "right" else batch_left_multiply
-            result = multiply(
-                matrix, panel, executor=self.executor,
-                panel_width=self.panel_width,
-            )
-        except _RequestError:
-            self.stats.record(name, None, error=True)
-            raise
-        except ReproError as exc:
-            self.stats.record(name, None, error=True)
-            raise _RequestError(400, str(exc)) from exc
-        except (TypeError, ValueError) as exc:
-            self.stats.record(name, None, error=True)
-            raise _RequestError(400, f"bad vectors: {exc}") from exc
+            except _RequestError:
+                self.stats.record(name, None, error=True)
+                raise
+            except (
+                DeadlineExceededError,
+                CircuitOpenError,
+                ShardUnavailableError,
+                IntegrityError,
+            ) as exc:
+                self.stats.record(name, None, error=True)
+                raise self._unavailable(exc) from exc
+            except ReproError as exc:
+                self.stats.record(name, None, error=True)
+                raise _RequestError(400, str(exc)) from exc
+            except (TypeError, ValueError) as exc:
+                self.stats.record(name, None, error=True)
+                raise _RequestError(400, f"bad vectors: {exc}") from exc
         seconds = perf_counter() - start
         self.stats.record(name, seconds)
         # Lazy sharded matrices stream shards in during the multiply,
@@ -294,6 +381,27 @@ class MatrixServer:
             "seconds": seconds,
             "result": result.T.tolist(),
         }
+
+    @staticmethod
+    def _unavailable(exc: BaseException) -> _RequestError:
+        """Map a resilience-layer failure to its 5xx ``_RequestError``.
+
+        504 for an expired deadline, 503 for everything else that makes
+        the resource temporarily (open breaker, transient IO) or
+        persistently (corrupt payload) unservable — never an untyped
+        500.
+        """
+        if isinstance(exc, DeadlineExceededError):
+            budget = exc.budget if exc.budget else 1.0
+            return _RequestError(504, str(exc), retry_after=budget)
+        retry_after = getattr(exc, "retry_after", 0.0)
+        if isinstance(exc, IntegrityError):
+            # Corruption is persistent: no Retry-After, the payload
+            # must be repaired, not re-requested.
+            return _RequestError(503, str(exc))
+        return _RequestError(
+            503, str(exc), retry_after=retry_after if retry_after > 0 else 1.0
+        )
 
     @staticmethod
     def _request_panel(matrix, vectors, op: str) -> np.ndarray:
@@ -340,11 +448,15 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, *_args) -> None:  # stay quiet under pytest/CLI
         pass
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(0, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -352,7 +464,23 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self._respond(status, fn())
         except _RequestError as exc:
-            self._respond(exc.status, {"error": str(exc)})
+            self._respond(
+                exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+            )
+        except (  # ra: retry — HTTP boundary: maps to a typed 5xx response
+            DeadlineExceededError,
+            CircuitOpenError,
+            ShardUnavailableError,
+            IntegrityError,
+        ) as exc:
+            # Safety net for endpoints that don't map these themselves:
+            # resilience failures always answer typed 5xx, never a
+            # bare 500.
+            mapped = MatrixServer._unavailable(exc)
+            self._respond(
+                mapped.status, {"error": str(mapped)},
+                retry_after=mapped.retry_after,
+            )
         except Exception as exc:  # noqa: BLE001 — a request must not kill the server
             self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
 

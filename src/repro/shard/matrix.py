@@ -32,9 +32,29 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.errors import MatrixFormatError
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    MatrixFormatError,
+    ReproError,
+    ShardUnavailableError,
+)
 from repro.formats.base import MatrixFormat
+from repro.resilience import faults as _faults
+from repro.resilience.policy import (
+    STATE_CLOSED,
+    STATE_OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    check_deadline,
+)
 from repro.shard.plan import ShardPlan, plan_shards
+
+#: Degradation states reported by :attr:`LazyShardedMatrix.state` (and
+#: surfaced through the registry's ``describe()`` / ``/stats``).
+STATE_HEALTHY = "healthy"
+STATE_DEGRADED = "degraded"
+STATE_QUARANTINED = "quarantined"
 
 
 def _offsets_of(row_counts) -> np.ndarray:
@@ -326,6 +346,20 @@ class LazyShardedMatrix(_ShardFanout):
     through, and re-polls :meth:`resident_footprint_bytes` (see
     :attr:`dynamic_residency`) so its accounting follows the loaded
     window rather than a load-time snapshot.
+
+    Shard loads are resilient: transient IO failures retry under
+    ``retry_policy`` (corruption does not — an
+    :class:`~repro.errors.IntegrityError` re-reads the same broken
+    bytes), every shard has its own
+    :class:`~repro.resilience.policy.CircuitBreaker`, and a shard
+    whose breaker is open is *quarantined* — loads fail fast with
+    :class:`~repro.errors.ShardUnavailableError` until the breaker
+    half-opens and a probe load succeeds.  The matrix keeps serving
+    work that avoids quarantined shards, and :attr:`state` /
+    :meth:`resilience_stats` expose
+    ``healthy`` / ``degraded`` / ``quarantined`` for the registry.
+    Loads honour the ambient request deadline
+    (:func:`repro.resilience.policy.deadline_scope`).
     """
 
     #: Tells the serving registry this matrix's resident footprint
@@ -337,6 +371,9 @@ class LazyShardedMatrix(_ShardFanout):
         path,
         shard_byte_budget: int | None = None,
         retain_plans: bool = False,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 30.0,
     ):
         from repro.io.serialize import read_shard_manifest
 
@@ -349,8 +386,16 @@ class LazyShardedMatrix(_ShardFanout):
         self._loaded: dict[int, object] = {}
         self._last_use: dict[int, int] = {}
         self._tick = 0
+        self._retry = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=0.01, max_delay=0.25
+        )
+        self._breaker_threshold = int(breaker_threshold)
+        self._breaker_reset = float(breaker_reset)
+        self._breakers: dict[int, CircuitBreaker] = {}
         self.shard_loads = 0
         self.shard_evictions = 0
+        self.shard_retries = 0
+        self.shard_failures = 0
 
     # -- shard loading and eviction ---------------------------------------------------
 
@@ -368,6 +413,74 @@ class LazyShardedMatrix(_ShardFanout):
         with self._lock:
             return len(self._loaded)
 
+    @property
+    def state(self) -> str:
+        """Degradation state: ``healthy`` / ``degraded`` / ``quarantined``.
+
+        *Quarantined* — at least one shard breaker is open (that shard
+        fails fast until its reset timeout); *degraded* — no breaker is
+        open but some shard has recent failures (half-open probes or a
+        partial failure streak); *healthy* — everything clean.
+        """
+        with self._lock:
+            breakers = list(self._breakers.values())
+        states = [b.state for b in breakers]
+        if any(s == STATE_OPEN for s in states):
+            return STATE_QUARANTINED
+        if any(
+            s != STATE_CLOSED or b.consecutive_failures > 0
+            for s, b in zip(states, breakers, strict=True)
+        ):
+            return STATE_DEGRADED
+        return STATE_HEALTHY
+
+    def quarantined_shards(self) -> list[int]:
+        """Indices of shards whose breaker is currently open."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return sorted(i for i, b in items if b.state == STATE_OPEN)
+
+    def resilience_stats(self) -> dict:
+        """JSON-ready degradation counters for ``/stats``."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {
+            "state": self.state,
+            "shard_retries": int(self.shard_retries),
+            "shard_failures": int(self.shard_failures),
+            "quarantined_shards": sorted(
+                i for i, b in items if b.state == STATE_OPEN
+            ),
+            "breaker_opens": sum(b.opens for _i, b in items),
+        }
+
+    def shard_breaker(self, i: int) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding shard ``i``."""
+        with self._lock:
+            breaker = self._breakers.get(i)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    reset_timeout=self._breaker_reset,
+                    name=f"{self._path}#shard{i}",
+                )
+                self._breakers[i] = breaker
+            return breaker
+
+    def _load_shard(self, i: int):
+        """One load attempt: read, fault hook, deadline check, decode."""
+        entry = self._manifest[i]
+        with open(self._path, "rb") as fh:
+            fh.seek(entry.offset)
+            blob = fh.read(entry.length)
+        blob = _faults.on_read(
+            _faults.SITE_SHARD_LOAD, f"{self._path}#shard{i}", blob
+        )
+        check_deadline(f"shard {i} load of {self._path}")
+        from repro.io.serialize import loads_matrix
+
+        return loads_matrix(blob)
+
     def _shard(self, i: int):
         with self._lock:
             self._tick += 1
@@ -375,13 +488,42 @@ class LazyShardedMatrix(_ShardFanout):
             shard = self._loaded.get(i)
             if shard is not None:
                 return shard
-        entry = self._manifest[i]
-        with open(self._path, "rb") as fh:
-            fh.seek(entry.offset)
-            blob = fh.read(entry.length)
-        from repro.io.serialize import loads_matrix
+        check_deadline(f"shard {i} load of {self._path}")
+        breaker = self.shard_breaker(i)
+        try:
+            breaker.allow()
+        except CircuitOpenError as exc:
+            raise ShardUnavailableError(
+                f"shard {i} of {self._path} is quarantined: {exc}",
+                shard=i,
+                retry_after=exc.retry_after,
+            ) from exc
 
-        shard = loads_matrix(blob)
+        def _count_retry(_attempt: int, _exc: BaseException) -> None:
+            self.shard_retries += 1
+
+        try:
+            shard = self._retry.run(
+                lambda: self._load_shard(i),
+                retry_on=(OSError,),
+                no_retry=(DeadlineExceededError,),
+                on_retry=_count_retry,
+                label=f"shard {i} load of {self._path}",
+            )
+        except DeadlineExceededError:
+            # The *request* ran out of budget — not the shard's fault;
+            # the breaker only counts failures of the shard itself.
+            raise
+        except (ReproError, OSError) as exc:
+            breaker.record_failure()
+            self.shard_failures += 1
+            raise ShardUnavailableError(
+                f"shard {i} of {self._path} failed to load: "
+                f"{type(exc).__name__}: {exc}",
+                shard=i,
+                retry_after=breaker.retry_after(),
+            ) from exc
+        breaker.record_success()
         if self._retain_plans:
             shard.enable_plan_retention(True)
         with self._lock:

@@ -22,6 +22,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.errors import SolveError
+from repro.resilience.policy import check_deadline
 from repro.serve.stats import LatencyWindow
 
 
@@ -162,6 +163,12 @@ def iterate(
     singular operator) or from ``callback`` (cooperative cancellation)
     — stops the loop without marking convergence.
 
+    The ambient deadline (a job's ``deadline_ms`` budget, set through
+    :func:`repro.resilience.policy.deadline_scope`) is checked before
+    every iteration, so a long solve fails with a typed
+    :class:`~repro.errors.DeadlineExceededError` at an iteration
+    boundary instead of running arbitrarily past its budget.
+
     Returns ``(trace, converged)``.
     """
     iterations = check_iterations(iterations)
@@ -169,6 +176,7 @@ def iterate(
     trace = SolveTrace()
     converged = False
     for k in range(iterations):
+        check_deadline(f"solver iteration {k}")
         start = time.perf_counter()
         try:
             residual = float(step(k))

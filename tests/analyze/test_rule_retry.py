@@ -1,0 +1,160 @@
+"""RA07 — retry loops re-raise typed errors; IntegrityError stays visible."""
+
+from repro.analyze.rules_ast import check_retry_discipline
+
+from tests.analyze.conftest import make_source
+
+
+class TestIntegritySwallow:
+    def test_swallowed_integrity_error_flagged(self):
+        text = """
+def load(path):
+    try:
+        return loads_matrix(path.read_bytes())
+    except IntegrityError:
+        return None
+"""
+        findings = check_retry_discipline(make_source(text))
+        assert len(findings) == 1
+        assert findings[0].rule == "RA07"
+        assert findings[0].detail == "IntegrityError"
+        assert findings[0].scope == "load"
+
+    def test_integrity_error_in_tuple_flagged(self):
+        text = """
+def load(path):
+    try:
+        return loads_matrix(path.read_bytes())
+    except (OSError, IntegrityError):
+        return None
+"""
+        assert len(check_retry_discipline(make_source(text))) == 1
+
+    def test_mapping_to_typed_error_is_clean(self):
+        text = """
+def load(path):
+    try:
+        return loads_matrix(path.read_bytes())
+    except IntegrityError as exc:
+        raise ShardUnavailableError(str(exc)) from exc
+"""
+        assert check_retry_discipline(make_source(text)) == []
+
+    def test_bare_reraise_is_clean(self):
+        text = """
+def load(path):
+    try:
+        return loads_matrix(path.read_bytes())
+    except IntegrityError:
+        log()
+        raise
+"""
+        assert check_retry_discipline(make_source(text)) == []
+
+    def test_dotted_name_flagged(self):
+        text = """
+def load(path):
+    try:
+        return loads_matrix(path.read_bytes())
+    except errors.IntegrityError:
+        pass
+"""
+        assert len(check_retry_discipline(make_source(text))) == 1
+
+    def test_waiver_suppresses(self):
+        text = """
+def probe(path):
+    try:
+        return loads_matrix(path.read_bytes())
+    except IntegrityError:  # ra: retry — probe reports None, caller handles
+        return None
+"""
+        assert check_retry_discipline(make_source(text)) == []
+
+
+class TestRetryLoopSwallow:
+    def test_while_loop_pass_flagged(self):
+        text = """
+def fetch():
+    while True:
+        try:
+            return load()
+        except OSError:
+            pass
+"""
+        findings = check_retry_discipline(make_source(text))
+        assert len(findings) == 1
+        assert findings[0].detail == "OSError"
+
+    def test_for_range_continue_flagged(self):
+        text = """
+def fetch():
+    for attempt in range(3):
+        try:
+            return load()
+        except ShardUnavailableError:
+            continue
+"""
+        findings = check_retry_discipline(make_source(text))
+        assert len(findings) == 1
+        assert findings[0].detail == "ShardUnavailableError"
+
+    def test_data_loop_continue_is_clean(self):
+        # Skipping one *item* of a data loop is iteration, not a retry.
+        text = """
+def scan(paths):
+    out = []
+    for path in paths:
+        try:
+            out.append(load(path))
+        except OSError:
+            continue
+    return out
+"""
+        assert check_retry_discipline(make_source(text)) == []
+
+    def test_handler_with_real_body_is_clean(self):
+        text = """
+def fetch():
+    for attempt in range(3):
+        try:
+            return load()
+        except OSError as exc:
+            last = exc
+    raise last
+"""
+        assert check_retry_discipline(make_source(text)) == []
+
+    def test_untyped_handler_left_to_ra04(self):
+        # `except Exception: pass` in a loop is RA04's business.
+        text = """
+def fetch():
+    while True:
+        try:
+            return load()
+        except Exception:
+            pass
+"""
+        assert check_retry_discipline(make_source(text)) == []
+
+    def test_waiver_suppresses(self):
+        text = """
+def fetch():
+    for attempt in range(3):
+        try:
+            return load()
+        except OSError:  # ra: retry — best-effort warmup, cold path is fine
+            continue
+"""
+        assert check_retry_discipline(make_source(text)) == []
+
+
+class TestRegistration:
+    def test_rule_registered_everywhere(self):
+        from repro.analyze.engine import ALL_RULES
+        from repro.analyze.findings import RULE_WAIVER_TAGS
+        from repro.analyze.rules_ast import AST_RULES
+
+        assert "RA07" in ALL_RULES
+        assert AST_RULES["RA07"] is check_retry_discipline
+        assert RULE_WAIVER_TAGS["RA07"] == "retry"

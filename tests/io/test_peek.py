@@ -32,7 +32,11 @@ class TestPeek:
     def test_csrv(self, dense):
         blob = saves_matrix(CSRVMatrix.from_dense(dense))
         info = peek_matrix_info(blob)
-        assert info == {"kind": "csrv", "shape": dense.shape}
+        assert info == {
+            "kind": "csrv",
+            "shape": dense.shape,
+            "integrity": "verified",
+        }
 
     @pytest.mark.parametrize("variant", VARIANTS)
     def test_gcm(self, dense, variant):
@@ -47,11 +51,22 @@ class TestPeek:
     def test_blocked(self, dense):
         bm = BlockedMatrix.compress(dense, variant="auto", n_blocks=4)
         info = peek_matrix_info(saves_matrix(bm))
-        assert info == {"kind": "blocked", "shape": dense.shape, "n_blocks": 4}
+        assert info == {
+            "kind": "blocked",
+            "shape": dense.shape,
+            "n_blocks": 4,
+            "integrity": "verified",
+        }
 
     def test_prefix_is_enough(self, dense):
         blob = saves_matrix(GrammarCompressedMatrix.compress(dense))
-        assert peek_matrix_info(blob[:PEEK_PREFIX_BYTES]) == peek_matrix_info(blob)
+        full = peek_matrix_info(blob)
+        prefix = peek_matrix_info(blob[:PEEK_PREFIX_BYTES])
+        # A prefix cannot see the trailing checksum footer; everything
+        # else must match the full-blob peek.
+        assert full.pop("integrity") == "verified"
+        assert prefix.pop("integrity") == "unverified"
+        assert prefix == full
 
     def test_bad_blobs_rejected(self):
         with pytest.raises(SerializationError):
@@ -72,7 +87,13 @@ class TestTypedDecodeErrors:
         return saves_matrix(GrammarCompressedMatrix.compress(dense))
 
     def test_wrong_kind_carries_the_offending_byte(self, blob):
-        bad = blob[:5] + bytes([0x63]) + blob[6:]
+        # Re-sign the footer after flipping the kind byte: this blob
+        # is *structurally* wrong, not corrupt, so the checksum must
+        # not mask the kind error.
+        from repro.resilience.integrity import append_footer, strip_footer
+
+        body = strip_footer(blob)
+        bad = append_footer(body[:5] + bytes([0x63]) + body[6:])
         for fn in (peek_matrix_info, loads_matrix):
             with pytest.raises(UnknownKindError) as excinfo:
                 fn(bad)

@@ -1,0 +1,1 @@
+"""Resilience battery: integrity, policies, fault injection, chaos."""

@@ -1,0 +1,58 @@
+"""Shared fixtures for the resilience battery.
+
+Every test runs with a clean fault-injection slate (the autouse
+fixture uninstalls any leftover plan), and the HTTP helpers mirror
+the serve-layer test idiom: errors come back as ``(status, body)``
+instead of raising, so chaos assertions read linearly.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.csrv import CSRVMatrix
+from repro.io.serialize import save_matrix
+from repro.resilience.faults import uninstall_fault_plan
+from repro.shard import build_sharded
+from tests.conftest import make_structured
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_faults():
+    uninstall_fault_plan()
+    yield
+    uninstall_fault_plan()
+
+
+def http_get(url: str, timeout: float = 10.0):
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+def http_post(url: str, payload: dict, timeout: float = 10.0):
+    req = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+@pytest.fixture
+def store(tmp_path, rng):
+    """A registry root: plain ``alpha`` plus 3-shard ``beta``."""
+    alpha = make_structured(rng, n=40, m=8)
+    beta = make_structured(rng, n=60, m=10)
+    save_matrix(CSRVMatrix.from_dense(alpha), tmp_path / "alpha.gcmx")
+    save_matrix(build_sharded(beta, n_shards=3), tmp_path / "beta.gcmx")
+    return tmp_path, {"alpha": alpha, "beta": beta}

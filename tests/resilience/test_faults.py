@@ -1,0 +1,132 @@
+"""The fault-injection harness itself: rules, matching, determinism."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience.faults import (
+    SITE_LOAD_MATRIX,
+    SITE_SHARD_LOAD,
+    FaultPlan,
+    FaultRule,
+    WorkerDeathFault,
+    active_plan,
+    before_worker_run,
+    fault_injection,
+    install_fault_plan,
+    on_read,
+    uninstall_fault_plan,
+)
+
+
+class TestRules:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError, match="unknown fault kind"):
+            FaultRule("explode")
+
+    def test_substring_matching(self):
+        rule = FaultRule("fail", match="beta.gcmx#shard1")
+        assert rule.matches("shard.load:/store/beta.gcmx#shard1")
+        assert not rule.matches("shard.load:/store/beta.gcmx#shard2")
+
+    def test_times_budget(self):
+        plan = FaultPlan().fail("m.gcmx", times=2)
+        blob = b"x" * 32
+        for _ in range(2):
+            _, _, exc = plan._apply_read_locked(SITE_LOAD_MATRIX, "m.gcmx", blob)
+            assert isinstance(exc, OSError)
+        _, _, exc = plan._apply_read_locked(SITE_LOAD_MATRIX, "m.gcmx", blob)
+        assert exc is None
+        assert plan.rules[0].fired == 2
+
+    def test_fluent_builders_chain(self):
+        plan = (
+            FaultPlan(seed=7)
+            .fail("a", times=2)
+            .corrupt_bytes("b")
+            .truncate("c", keep=8)
+            .slow_load("d", seconds=0.5)
+            .kill_worker("e")
+        )
+        assert [r.kind for r in plan.rules] == [
+            "fail", "corrupt", "truncate", "slow", "kill_worker",
+        ]
+
+
+class TestApplication:
+    def test_corrupt_is_deterministic_and_in_payload(self):
+        blob = bytes(range(200))
+        a = FaultPlan(seed=3).corrupt_bytes("key")
+        b = FaultPlan(seed=3).corrupt_bytes("key")
+        out_a, _, _ = a._apply_read_locked(SITE_SHARD_LOAD, "key", blob)
+        out_b, _, _ = b._apply_read_locked(SITE_SHARD_LOAD, "key", blob)
+        assert out_a == out_b
+        diff = [i for i in range(len(blob)) if out_a[i] != blob[i]]
+        assert len(diff) == 1
+        # lands after the 6-byte header and before the 8-byte footer
+        assert 6 <= diff[0] < len(blob) - 8
+
+    def test_corrupt_explicit_offset(self):
+        blob = bytes(32)
+        plan = FaultPlan().corrupt_bytes("key", offset=10)
+        out, _, _ = plan._apply_read_locked(SITE_SHARD_LOAD, "key", blob)
+        assert out[10] == 0xFF and out[:10] == blob[:10]
+
+    def test_truncate_keeps_prefix(self):
+        plan = FaultPlan().truncate("key", keep=16)
+        out, _, _ = plan._apply_read_locked(SITE_LOAD_MATRIX, "key", bytes(100))
+        assert len(out) == 16
+
+    def test_slow_reports_delay_without_sleeping(self):
+        plan = FaultPlan().slow_load("key", seconds=2.0)
+        _, delay, _ = plan._apply_read_locked(SITE_SHARD_LOAD, "key", b"x")
+        assert delay == 2.0  # the hook sleeps outside the lock
+
+    def test_events_record_firings(self):
+        plan = FaultPlan().fail("alpha", times=1).slow_load("beta", seconds=0.1)
+        plan._apply_read_locked(SITE_LOAD_MATRIX, "alpha.gcmx", b"x")
+        plan._apply_read_locked(SITE_SHARD_LOAD, "beta.gcmx#shard0", b"x")
+        assert plan.events == [
+            (SITE_LOAD_MATRIX, "alpha.gcmx", "fail"),
+            (SITE_SHARD_LOAD, "beta.gcmx#shard0", "slow"),
+        ]
+
+    def test_custom_exception_factory(self):
+        plan = FaultPlan().fail("key", exc=lambda: PermissionError("denied"))
+        _, _, exc = plan._apply_read_locked(SITE_LOAD_MATRIX, "key", b"x")
+        assert isinstance(exc, PermissionError)
+
+
+class TestInstallation:
+    def test_no_plan_is_passthrough(self):
+        uninstall_fault_plan()
+        assert on_read(SITE_LOAD_MATRIX, "any", b"blob") == b"blob"
+        before_worker_run("jobs.run", "any")  # no-op
+
+    def test_context_manager_installs_and_removes(self):
+        plan = FaultPlan().fail("m.gcmx", times=1)
+        with fault_injection(plan) as active:
+            assert active is plan
+            assert active_plan() is plan
+            with pytest.raises(OSError):
+                on_read(SITE_LOAD_MATRIX, "m.gcmx", b"x")
+        assert active_plan() is None
+        # budget spent inside the block stays spent
+        assert plan.rules[0].fired == 1
+
+    def test_install_replaces_previous(self):
+        first = FaultPlan()
+        second = FaultPlan()
+        install_fault_plan(first)
+        install_fault_plan(second)
+        assert active_plan() is second
+        uninstall_fault_plan()
+        uninstall_fault_plan()  # idempotent
+
+    def test_worker_death_is_base_exception(self):
+        assert issubclass(WorkerDeathFault, BaseException)
+        assert not issubclass(WorkerDeathFault, Exception)
+        plan = FaultPlan().kill_worker("pagerank")
+        with fault_injection(plan):
+            with pytest.raises(WorkerDeathFault):
+                before_worker_run("jobs.run", "pagerank:beta")
+            before_worker_run("jobs.run", "pagerank:beta")  # budget spent

@@ -1,0 +1,166 @@
+"""Checksum footer: round trips, corruption, truncation, legacy blobs."""
+
+import numpy as np
+import pytest
+
+from repro.core.csrv import CSRVMatrix
+from repro.errors import IntegrityError, SerializationError
+from repro.io.serialize import (
+    load_matrix,
+    loads_matrix,
+    peek_matrix_info,
+    read_matrix_info,
+    read_shard_manifest,
+    save_matrix,
+    saves_matrix,
+)
+from repro.resilience.integrity import (
+    FOOTER_BYTES,
+    FOOTER_MAGIC,
+    append_footer,
+    file_integrity,
+    has_footer,
+    payload_crc,
+    split_footer,
+    strip_footer,
+    verify_blob,
+    verify_file,
+)
+from repro.shard import build_sharded
+from tests.conftest import make_structured
+
+
+@pytest.fixture
+def dense(rng):
+    return make_structured(rng, n=40, m=8)
+
+
+@pytest.fixture
+def blob(dense):
+    return saves_matrix(CSRVMatrix.from_dense(dense))
+
+
+class TestFooter:
+    def test_save_appends_footer(self, blob):
+        assert has_footer(blob)
+        body, crc = split_footer(blob)
+        assert blob == body + FOOTER_MAGIC + crc.to_bytes(4, "little")
+        assert crc == payload_crc(body)
+
+    def test_round_trip_verifies(self, blob, dense):
+        body, state = verify_blob(blob)
+        assert state == "verified"
+        assert np.array_equal(loads_matrix(blob).to_dense(), dense)
+
+    def test_append_strip_inverse(self, blob):
+        body = strip_footer(blob)
+        assert append_footer(body) == blob
+        assert strip_footer(body) == body  # idempotent on footer-less
+
+    def test_legacy_blob_still_loads(self, blob, dense):
+        legacy = strip_footer(blob)
+        assert not has_footer(legacy)
+        assert np.array_equal(loads_matrix(legacy).to_dense(), dense)
+        assert peek_matrix_info(legacy)["integrity"] == "unverified"
+
+    def test_peek_reports_verified(self, blob):
+        assert peek_matrix_info(blob)["integrity"] == "verified"
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_is_typed(self, blob):
+        mid = len(blob) // 2
+        bad = blob[:mid] + bytes([blob[mid] ^ 0xFF]) + blob[mid + 1 :]
+        with pytest.raises(IntegrityError) as excinfo:
+            loads_matrix(bad)
+        err = excinfo.value
+        assert isinstance(err, SerializationError)
+        assert err.expected != err.actual
+        assert err.expected == split_footer(blob)[1]
+
+    def test_flipped_crc_byte_is_typed(self, blob):
+        bad = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        with pytest.raises(IntegrityError):
+            verify_blob(bad)
+
+    def test_truncated_footer_is_typed(self, blob):
+        # A short write that clips only checksum bytes must not
+        # masquerade as a pre-footer payload.
+        for cut in (1, 2, 3):
+            with pytest.raises(IntegrityError, match="footer is truncated"):
+                verify_blob(blob[: len(blob) - cut])
+
+    def test_source_label_in_message(self, blob):
+        mid = len(blob) // 2
+        bad = blob[:mid] + bytes([blob[mid] ^ 0xFF]) + blob[mid + 1 :]
+        with pytest.raises(IntegrityError, match="matrix.gcmx"):
+            verify_blob(bad, source="/store/matrix.gcmx")
+
+
+class TestFiles:
+    def test_file_integrity_probe(self, blob, tmp_path):
+        path = tmp_path / "m.gcmx"
+        path.write_bytes(blob)
+        assert file_integrity(path) == "present"
+        path.write_bytes(strip_footer(blob))
+        assert file_integrity(path) == "unverified"
+
+    def test_read_matrix_info_upgrades_state(self, dense, tmp_path):
+        path = tmp_path / "m.gcmx"
+        save_matrix(CSRVMatrix.from_dense(dense), path)
+        assert read_matrix_info(path)["integrity"] in ("verified", "present")
+
+    def test_load_matrix_rejects_corrupt_file(self, blob, tmp_path):
+        path = tmp_path / "m.gcmx"
+        mid = len(blob) // 2
+        path.write_bytes(
+            blob[:mid] + bytes([blob[mid] ^ 0xFF]) + blob[mid + 1 :]
+        )
+        with pytest.raises(IntegrityError):
+            load_matrix(path)
+
+    def test_verify_file_plain(self, dense, tmp_path):
+        path = tmp_path / "m.gcmx"
+        save_matrix(CSRVMatrix.from_dense(dense), path)
+        report = verify_file(path)
+        assert report["integrity"] == "verified"
+        assert report["kind"] == "csrv"
+        assert report["file_bytes"] == path.stat().st_size
+
+
+class TestShardedSections:
+    @pytest.fixture
+    def container(self, rng, tmp_path):
+        dense = make_structured(rng, n=60, m=10)
+        path = tmp_path / "s.gcmx"
+        save_matrix(build_sharded(dense, n_shards=3), path)
+        return path
+
+    def test_every_section_carries_a_footer(self, container):
+        report = verify_file(container, deep=True)
+        assert report["kind"] == "sharded"
+        assert report["shards"] == ["verified"] * 3
+
+    def test_deep_verify_catches_resigned_outer_footer(self, container):
+        # Corrupt one byte inside shard 1's section, then re-sign the
+        # *outer* footer: only the per-shard check can catch this.
+        _shape, entries = read_shard_manifest(container)
+        data = container.read_bytes()
+        body = strip_footer(data)
+        pos = entries[1].offset + 10
+        body = body[:pos] + bytes([body[pos] ^ 0xFF]) + body[pos + 1 :]
+        container.write_bytes(append_footer(body))
+
+        report = verify_file(container, deep=False)
+        assert report["integrity"] == "verified"  # outer CRC re-signed
+        with pytest.raises(IntegrityError, match="#shard1"):
+            verify_file(container, deep=True)
+
+    def test_footer_overhead_is_bounded(self, container):
+        # Whole-file footer + one per shard section.
+        _shape, entries = read_shard_manifest(container)
+        data = container.read_bytes()
+        total = len(data)
+        payload = total - FOOTER_BYTES * (1 + len(entries))
+        assert payload > 0
+        assert total - payload == FOOTER_BYTES * 4

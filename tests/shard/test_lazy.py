@@ -30,8 +30,12 @@ class TestManifest:
         assert shape == dense.shape
         assert len(entries) == 3
         assert [e.row_start for e in entries] == list(sm.row_offsets[:-1])
-        # sections tile the rest of the file exactly
-        assert entries[-1].offset + entries[-1].length == path.stat().st_size
+        # sections tile the rest of the file exactly, up to the
+        # trailing whole-file checksum footer
+        from repro.resilience.integrity import FOOTER_BYTES
+
+        end = entries[-1].offset + entries[-1].length
+        assert end == path.stat().st_size - FOOTER_BYTES
 
     def test_manifest_rejects_non_sharded_file(self, dense, tmp_path):
         import repro

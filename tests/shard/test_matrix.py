@@ -149,6 +149,7 @@ class TestSerialization:
             "kind": "sharded",
             "shape": dense.shape,
             "n_shards": 3,
+            "integrity": "verified",
         }
 
     def test_read_matrix_info_from_file(self, sharded, tmp_path):
