@@ -9,6 +9,10 @@ root):
   vectorised generation rounds), with the grammar sizes and the
   ``re_ans`` compression ratios of both, plus the exact grammar's
   fingerprint so seed drift is detectable;
+- **cold_start** — server restart cost against a matrix store:
+  catalog-driven registry open (O(rows)) vs directory scan
+  (O(files) header reads) vs eager payload loading (O(bytes)),
+  first-``/matrices`` latency, and one payload loaded mmap vs copy;
 - **multiply** — per grammar variant, the served single-vector MVM
   latency in three configurations: *cold* (first request: storage
   decode + plan build + multiply, plan retention on), *warm* (every
@@ -51,6 +55,14 @@ FULL_PROFILES = (("census", 5000), ("airline78", 6000), ("mnist2m", 5000))
 QUICK_PROFILES = (("census", 400),)
 
 SCHEMA = "bench_hotpaths/v1"
+
+#: Cold-start store profiles: (n_matrices, rows, cols).  Full mode
+#: builds a multi-hundred-MB store (24 dense payloads of ~12 MB plus a
+#: sharded container) so the catalog-vs-scan registry-open gap is
+#: measured at the scale the acceptance criterion names; quick mode
+#: keeps the same shape at CI-smoke size.
+COLD_START_FULL = (24, 1000, 1500)
+COLD_START_QUICK = (6, 150, 200)
 
 
 def _time_once(fn) -> tuple[float, object]:
@@ -124,7 +136,71 @@ def bench_multiply(grammar, values, shape, warm_iters: int, cold_reps: int) -> d
     return results
 
 
-def run(profiles, warm_iters: int, cold_reps: int) -> dict:
+def bench_cold_start(n_matrices: int, rows: int, cols: int) -> dict:
+    """Registry restart cost: catalog rows vs header scans vs payloads.
+
+    Builds a temporary :class:`repro.store.MatrixStore` (dense payloads
+    plus one sharded container) and times the three ways a server can
+    come back up: ``catalog_open`` (``MatrixRegistry(store=...)`` —
+    O(rows), the repro.store path), ``scan_open`` (directory scan with
+    a header read per file — the pre-store path), and ``eager_load``
+    (full payload deserialization — what restart would cost without
+    lazy loading).  Also times the first ``/matrices`` listing after a
+    catalog open, and one payload loaded mmap vs copy.
+    """
+    import shutil
+    import tempfile
+
+    from repro import formats
+    from repro.io.serialize import load_matrix
+    from repro.serve.registry import MatrixRegistry
+    from repro.shard import build_sharded
+    from repro.store import MatrixStore
+
+    tmp = tempfile.mkdtemp(prefix="repro-coldstart-")
+    try:
+        rng = np.random.default_rng(7)
+        store = MatrixStore(tmp)
+        for i in range(max(2, n_matrices) - 1):
+            dense = rng.random((rows, cols))
+            store.add(f"m{i:03d}", formats.compress(dense, format="dense"))
+        store.add(
+            "sharded", build_sharded(rng.random((rows, cols)), n_shards=4)
+        )
+
+        scan_seconds, scan_reg = _time_once(lambda: MatrixRegistry(root=tmp))
+        catalog_seconds, reg = _time_once(
+            lambda: MatrixRegistry(store=tmp, mmap=True)
+        )
+        first_matrices_seconds, listing = _time_once(reg.entries)
+        assert len(listing) == len(scan_reg.names())
+
+        eager_seconds = 0.0
+        for entry in store.entries():
+            seconds, _ = _time_once(lambda: load_matrix(entry.path))
+            eager_seconds += seconds
+
+        path = store.path_of("m000")
+        copy_seconds, _ = _time_once(lambda: load_matrix(path))
+        mmap_seconds, _ = _time_once(lambda: load_matrix(path, mmap=True))
+        return {
+            "n_matrices": int(len(store)),
+            "store_bytes": int(store.total_bytes()),
+            "catalog_open_seconds": catalog_seconds,
+            "scan_open_seconds": scan_seconds,
+            "open_speedup": scan_seconds / catalog_seconds,
+            "eager_load_seconds": eager_seconds,
+            "eager_vs_catalog": eager_seconds / catalog_seconds,
+            "first_matrices_seconds": first_matrices_seconds,
+            "copy_load_seconds": copy_seconds,
+            "mmap_load_seconds": mmap_seconds,
+            "mmap_load_speedup": copy_seconds / mmap_seconds,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def run(profiles, warm_iters: int, cold_reps: int, cold_start=None) -> dict:
     report = {
         "schema": SCHEMA,
         "command": " ".join(sys.argv),
@@ -160,7 +236,35 @@ def run(profiles, warm_iters: int, cold_reps: int) -> dict:
                 f"(x{m['warm_vs_cold']:.1f} vs cold, "
                 f"x{m['warm_vs_nocache']:.1f} vs no-cache)"
             )
+    if cold_start is not None:
+        cs = bench_cold_start(*cold_start)
+        report["cold_start"] = cs
+        print(
+            f"cold_start ({cs['n_matrices']} matrices, "
+            f"{cs['store_bytes'] / 1e6:.0f}MB): catalog open "
+            f"{1e3 * cs['catalog_open_seconds']:.1f}ms vs scan "
+            f"{1e3 * cs['scan_open_seconds']:.1f}ms "
+            f"(x{cs['open_speedup']:.1f}) vs eager load "
+            f"{cs['eager_load_seconds']:.2f}s "
+            f"(x{cs['eager_vs_catalog']:.0f}); first /matrices "
+            f"{1e3 * cs['first_matrices_seconds']:.1f}ms; mmap load "
+            f"{1e3 * cs['mmap_load_seconds']:.2f}ms vs copy "
+            f"{1e3 * cs['copy_load_seconds']:.2f}ms "
+            f"(x{cs['mmap_load_speedup']:.0f})"
+        )
     return report
+
+
+#: cold_start keys gated by ``--check-baseline``.  Sub-50ms timings on
+#: shared CI runners are noise-dominated, so the regression limit gets
+#: an absolute floor alongside the relative tolerance.
+COLD_START_GATED_KEYS = (
+    "catalog_open_seconds",
+    "first_matrices_seconds",
+    "mmap_load_seconds",
+)
+
+COLD_START_FLOOR_SECONDS = 0.05
 
 
 def check_baseline(report: dict, baseline_path: Path, tolerance: float) -> int:
@@ -182,6 +286,20 @@ def check_baseline(report: dict, baseline_path: Path, tolerance: float) -> int:
                     f"{name}/{variant}: warm {1e3 * cur['warm_seconds']:.3f}ms "
                     f"> {tolerance:g}x baseline "
                     f"{1e3 * base_m['warm_seconds']:.3f}ms"
+                )
+    base_cold = baseline.get("cold_start")
+    cur_cold = report.get("cold_start")
+    if base_cold and cur_cold:
+        for key in COLD_START_GATED_KEYS:
+            if key not in base_cold or key not in cur_cold:
+                continue
+            limit = max(tolerance * base_cold[key], COLD_START_FLOOR_SECONDS)
+            if cur_cold[key] > limit:
+                failures.append(
+                    f"cold_start/{key}: {1e3 * cur_cold[key]:.1f}ms > "
+                    f"max({tolerance:g}x baseline "
+                    f"{1e3 * base_cold[key]:.1f}ms, "
+                    f"{1e3 * COLD_START_FLOOR_SECONDS:.0f}ms floor)"
                 )
     if failures:
         print("PERF REGRESSION against", baseline_path, file=sys.stderr)
@@ -216,9 +334,11 @@ def main(argv=None) -> int:
 
     if args.quick:
         profiles, warm_iters, cold_reps = QUICK_PROFILES, 9, 3
+        cold_start = COLD_START_QUICK
     else:
         profiles, warm_iters, cold_reps = FULL_PROFILES, 21, 3
-    report = run(profiles, warm_iters, cold_reps)
+        cold_start = COLD_START_FULL
+    report = run(profiles, warm_iters, cold_reps, cold_start=cold_start)
 
     output = args.output
     if output is None and not args.quick:

@@ -24,6 +24,7 @@ broad-except  RA04  an ``except Exception`` outside the boundaries
 out        RA05   a kernel that knowingly breaks the ``out=`` contract
 executor   RA06   a multiply entry point without executor plumbing
 retry      RA07   a retry handler that deliberately drops a typed error
+sql        RA08   a SQLite touchpoint outside the store catalog
 =========  =====  ==========================================
 """
 
@@ -40,6 +41,7 @@ RULE_WAIVER_TAGS = {
     "RA05": "out",
     "RA06": "executor",
     "RA07": "retry",
+    "RA08": "sql",
 }
 
 _WAIVER_RE = re.compile(

@@ -641,6 +641,115 @@ def _is_swallow_body(node: ast.ExceptHandler) -> bool:
     return True
 
 
+
+
+#: The one module allowed to touch SQLite (RA08): every catalog query,
+#: pragma, and schema statement lives behind its API.
+CATALOG_MODULE = "store/catalog.py"
+
+#: Schema-changing SQL: statements that must appear only inside the
+#: catalog's ``MIGRATIONS`` table so ``PRAGMA user_version`` tracking
+#: stays truthful.
+_SCHEMA_DDL_RE = re.compile(
+    r"\b(create|alter|drop)\s+(table|index|trigger|view)\b", re.IGNORECASE
+)
+
+
+def check_catalog_sql(source) -> list[Finding]:
+    """RA08: all catalog SQL goes through ``store/catalog.py``.
+
+    Two halves of one contract:
+
+    1. Outside :data:`CATALOG_MODULE`, importing ``sqlite3`` (or any of
+       its members) is a finding — a second connection path would skip
+       the WAL/busy-timeout pragmas and the migration check, so every
+       consumer must go through the :class:`repro.store.Catalog` API.
+    2. Inside it, schema-changing statements (``CREATE TABLE`` and
+       friends, matched case-insensitively in string constants) must
+       lie within the top-level ``MIGRATIONS`` assignment: ad-hoc DDL
+       executed outside a migration entry would change the schema
+       without bumping ``PRAGMA user_version``, breaking every other
+       process's version check.
+
+    Waiver: ``# ra: sql — <reason>`` on the import or string line.
+    """
+    tag = RULE_WAIVER_TAGS["RA08"]
+    findings: list[Finding] = []
+    rel = source.rel.replace("\\", "/")
+    if not rel.endswith(CATALOG_MODULE):
+        for node in ast.walk(source.tree):
+            detail = None
+            if isinstance(node, ast.Import):
+                if any(
+                    alias.name == "sqlite3"
+                    or alias.name.startswith("sqlite3.")
+                    for alias in node.names
+                ):
+                    detail = "import sqlite3"
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == "sqlite3":
+                    detail = "from sqlite3 import ..."
+            if detail is None or source.waivers.covers(node.lineno, tag):
+                continue
+            findings.append(
+                Finding(
+                    rule="RA08",
+                    path=source.rel,
+                    line=node.lineno,
+                    scope=_enclosing_scope(source.tree, node),
+                    detail=detail,
+                    message=(
+                        f"{detail} outside {CATALOG_MODULE}; all catalog "
+                        "SQL goes through repro.store.Catalog (WAL, "
+                        "busy_timeout, migrations), or waive with "
+                        "`# ra: sql — <reason>`"
+                    ),
+                )
+            )
+        return findings
+
+    migration_spans = []
+    for node in source.tree.body:
+        names: list[str] = []
+        if isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            names = [node.target.id]
+        if "MIGRATIONS" in names:
+            migration_spans.append((node.lineno, node.end_lineno or node.lineno))
+    for node in ast.walk(source.tree):
+        if not (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and _SCHEMA_DDL_RE.search(node.value)
+        ):
+            continue
+        end = node.end_lineno or node.lineno
+        if any(s <= node.lineno and end <= e for s, e in migration_spans):
+            continue
+        if source.waivers.covers(node.lineno, tag):
+            continue
+        match = _SCHEMA_DDL_RE.search(node.value)
+        findings.append(
+            Finding(
+                rule="RA08",
+                path=source.rel,
+                line=node.lineno,
+                scope=_enclosing_scope(source.tree, node),
+                detail=match.group(0) if match else "DDL",
+                message=(
+                    "schema-changing SQL outside the MIGRATIONS table; "
+                    "add a (version, script) migration entry so PRAGMA "
+                    "user_version tracks the change, or waive with "
+                    "`# ra: sql — <reason>`"
+                ),
+            )
+        )
+    return findings
+
+
 #: Rule id → (callable, one-line summary).  The engine dispatches from
 #: this table; docs and ``--select`` validation derive from it too.
 AST_RULES = {
@@ -649,4 +758,5 @@ AST_RULES = {
     "RA05": check_out_contract,
     "RA06": check_executor_plumbing,
     "RA07": check_retry_discipline,
+    "RA08": check_catalog_sql,
 }

@@ -45,6 +45,16 @@ Commands
     Check the CRC32 checksum footers of one ``.gcmx`` file or every
     ``.gcmx`` file under a directory (sharded containers are verified
     section by section).  Exit status 1 when any file fails.
+    Outcomes are recorded in the directory's store catalog when one
+    exists.
+``store init|list|reindex ROOT``
+    Manage a matrix store (:mod:`repro.store`): ``init`` creates the
+    SQLite catalog and indexes existing ``.gcmx`` files, ``list``
+    prints the catalog rows, ``reindex`` re-syncs rows after
+    out-of-band file changes.  ``compress``/``shard`` take ``--store``
+    to catalog their output as they write it, and ``serve --store``
+    registers matrices from the catalog (O(rows) cold start) —
+    optionally mmap-backed via ``serve --mmap``.
 ``analyze [PATHS...]``
     Run the project-specific static-analysis suite
     (:mod:`repro.analyze` — capability flags, kind tags, lock
@@ -155,6 +165,7 @@ def _cmd_compress(args) -> int:
     else:
         compressed = formats.compress(matrix, format=fmt, **strategy_opts)
     save_matrix(compressed, args.output)
+    _maybe_catalog(args, provenance={"command": "compress", "input": args.input})
     dense = matrix.size * 8
     print(
         f"{args.input} ({matrix.shape[0]}x{matrix.shape[1]}) -> {args.output}: "
@@ -186,6 +197,7 @@ def _cmd_shard(args) -> int:
     else:
         sharded = build_sharded(matrix, plan=plan)
     save_matrix(sharded, args.output)
+    _maybe_catalog(args, provenance={"command": "shard", "input": args.input})
     rows = [
         [d["shard"], d["rows"], d["format"], f"{d['density']:.1%}",
          f"{sharded.shards[d['shard']].size_bytes():,}"]
@@ -386,11 +398,89 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _maybe_catalog(args, provenance: dict) -> None:
+    """Register a just-written ``.gcmx`` in its directory's catalog.
+
+    Active under ``--store``: the output's parent directory becomes (or
+    already is) a store root, and the file's catalog row is written in
+    the same command that wrote its bytes.
+    """
+    if not getattr(args, "store", False):
+        return
+    from pathlib import Path
+
+    from repro.store import MatrixStore
+
+    out = Path(args.output)
+    store = MatrixStore(out.parent)
+    store.register_file(out, provenance=provenance)
+    print(f"cataloged {out.stem!r} in {store.catalog.path}")
+
+
+def _cmd_store(args) -> int:
+    from repro.store import MatrixStore, is_store
+
+    if args.action == "init":
+        existed = is_store(args.root)
+        store = MatrixStore(args.root)
+        report = store.reindex()
+        verb = "reopened" if existed else "initialised"
+        print(
+            f"{verb} store at {store.root} "
+            f"({len(store)} matrices, schema v{store.catalog.schema_version()})"
+        )
+        for key in ("added", "refreshed", "removed", "corrupt"):
+            if report[key]:
+                print(f"  {key}: {', '.join(report[key])}")
+        return 0
+    if not is_store(args.root):
+        print(
+            f"{args.root} has no catalog — run `repro store init {args.root}`",
+            file=sys.stderr,
+        )
+        return 1
+    store = MatrixStore(args.root, create=False)
+    if args.action == "reindex":
+        report = store.reindex()
+        changed = sum(len(v) for v in report.values())
+        print(
+            f"reindexed {store.root}: "
+            + ", ".join(f"{len(v)} {k}" for k, v in report.items())
+        )
+        for key, names in report.items():
+            for name in names:
+                print(f"  {key}: {name}")
+        return 1 if report["corrupt"] else 0
+    # action == "list"
+    rows = [
+        [
+            e.name,
+            e.format,
+            f"{e.shape[0]}x{e.shape[1]}",
+            f"{e.file_bytes:,}",
+            e.integrity,
+            str(len(store.catalog.shards(e.name)) or ""),
+        ]
+        for e in store.entries()
+    ]
+    print(
+        format_table(
+            ["name", "format", "shape", "bytes", "integrity", "shards"],
+            rows,
+            title=f"{store.root} (schema v{store.catalog.schema_version()})",
+        )
+    )
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from pathlib import Path
 
     from repro.errors import SerializationError
     from repro.resilience.integrity import verify_file
+
+    from repro.resilience.integrity import INTEGRITY_FAILED
+    from repro.store import MatrixStore, is_store
 
     root = Path(args.path)
     if root.is_dir():
@@ -400,6 +490,24 @@ def _cmd_verify(args) -> int:
             return 1
     else:
         paths = [root]
+
+    # Verification outcomes flow back into the directory's catalog (if
+    # one exists) so `repro verify` keeps store rows honest.
+    stores: dict = {}
+
+    def _sync(path, state, shard_states=None) -> None:
+        parent = path.parent
+        if parent not in stores:
+            stores[parent] = (
+                MatrixStore(parent, create=False) if is_store(parent) else None
+            )
+        store = stores[parent]
+        if store is not None and store.get(path.stem) is not None:
+            store.catalog.set_integrity(
+                path.stem, state,
+                tuple(shard_states) if shard_states is not None else None,
+            )
+
     failures = 0
     for path in paths:
         try:
@@ -410,8 +518,10 @@ def _cmd_verify(args) -> int:
             continue
         except SerializationError as exc:
             print(f"{path}: FAIL  {exc}", file=sys.stderr)
+            _sync(path, INTEGRITY_FAILED)
             failures += 1
             continue
+        _sync(path, report["integrity"], report.get("shards"))
         detail = f"{report['integrity']}, {report['file_bytes']:,} bytes"
         if "shards" in report:
             detail += f", {len(report['shards'])} shard sections checked"
@@ -435,14 +545,25 @@ def _cmd_serve(args) -> int:
     budget = (
         int(args.budget_mb * 1024 * 1024) if args.budget_mb is not None else None
     )
+    store = None
+    if args.store:
+        from repro.store import MatrixStore
+
+        store = MatrixStore(args.root)
+        if not len(store):
+            # Fresh catalog over an existing directory: index it once
+            # so `serve --store DIR` works on any .gcmx directory.
+            store.reindex()
     try:
         registry = MatrixRegistry(
-            root=args.root,
+            root=None if store is not None else args.root,
             byte_budget=budget,
             retain_plans=not args.no_plan_cache,
             lazy_shards=not args.eager_shards,
+            store=store,
+            mmap=args.mmap,
         )
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(str(exc), file=sys.stderr)
         return 1
     if not len(registry):
@@ -510,6 +631,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="RePair formulation for grammar formats: 'exact' (reference "
         "heap loop) or 'batch' (vectorised rounds, ~10x faster at scale)",
     )
+    p.add_argument(
+        "--store", action="store_true",
+        help="register the output in its directory's store catalog "
+        "(creating the catalog if needed)",
+    )
     p.set_defaults(fn=_cmd_compress)
 
     p = sub.add_parser(
@@ -536,6 +662,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=1,
         help="compress shards in parallel on an executor pool",
+    )
+    p.add_argument(
+        "--store", action="store_true",
+        help="register the output in its directory's store catalog "
+        "(creating the catalog if needed)",
     )
     p.set_defaults(fn=_cmd_shard)
 
@@ -646,6 +777,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="latency budget per request in milliseconds; expiry "
         "answers 504 with a Retry-After header (default: none)",
     )
+    p.add_argument(
+        "--store", action="store_true",
+        help="treat ROOT as a matrix store: register matrices from its "
+        "SQLite catalog (O(rows) cold start, indexing the directory "
+        "first if the catalog is empty) instead of scanning headers",
+    )
+    p.add_argument(
+        "--mmap", action="store_true",
+        help="open payloads as zero-copy views over mmap-ed files where "
+        "the format supports it (copy-load fallback otherwise)",
+    )
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -657,6 +799,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip per-shard section checks inside sharded containers",
     )
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "store",
+        help="manage a matrix store's SQLite catalog",
+    )
+    p.add_argument(
+        "action", choices=("init", "list", "reindex"),
+        help="init: create/refresh the catalog; list: catalog rows; "
+        "reindex: rebuild rows from the .gcmx files on disk",
+    )
+    p.add_argument("root", help="store root directory")
+    p.set_defaults(fn=_cmd_store)
 
     from repro.analyze.cli import add_arguments as _add_analyze_arguments
 

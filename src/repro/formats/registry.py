@@ -55,6 +55,15 @@ class FormatSpec:
         ``enable_plan_retention`` changes execution: the format can keep
         a reusable multiplication plan resident instead of rebuilding
         per call (the grammar variants and their blocked containers).
+    supports_mmap:
+        The decoder tolerates read-only buffer views: under
+        ``load_matrix(..., mmap=True)`` the payload arrays become
+        ``np.frombuffer`` views over an ``mmap``-ed region instead of
+        heap copies (zero-copy open, OS page cache does eviction).
+        Formats that mutate their buffers after decode (the
+        scipy-backed CSR family) or that copy the payload anyway
+        (gzip/xz streams) leave this ``False`` and take the copy-load
+        fallback.
     encode / decode:
         Payload codec: ``encode(matrix) -> bytes`` and
         ``decode(data, pos) -> (matrix, pos)``.
@@ -71,6 +80,7 @@ class FormatSpec:
     supports_executor: bool = False
     supports_threads: bool = False
     supports_plan_cache: bool = False
+    supports_mmap: bool = False
     encode: Callable[[Any], bytes] | None = None
     decode: Callable[[bytes, int], tuple[Any, int]] | None = None
     peek: Callable[[bytes, int], dict] | None = None

@@ -47,6 +47,7 @@ register(
         build=lambda source, **opts: DenseMatrix(np.asarray(source), **opts),
         kind=io.KIND_DENSE,
         description="uncompressed rows×cols×8-byte doubles (the 100% baseline)",
+        supports_mmap=True,
         encode=io.dense_payload,
         decode=io.read_dense,
         peek=io.peek_dense,
@@ -86,6 +87,7 @@ register(
         build=CSRVMatrix.from_dense,
         kind=io.KIND_CSRV,
         description="the paper's fused sequence-plus-dictionary CSRV (Section 2)",
+        supports_mmap=True,
         encode=io.csrv_payload,
         decode=io.read_csrv,
         peek=io.peek_csrv,
@@ -102,6 +104,7 @@ for _variant in VARIANTS:
             description=f"grammar-compressed (C, R, V), {_variant} encoding "
             "(Section 4)",
             supports_plan_cache=True,
+            supports_mmap=True,
             encode=io.gcm_payload,
             decode=io.read_gcm,
             peek=io.peek_gcm,
@@ -118,6 +121,7 @@ register(
         supports_executor=True,
         supports_threads=True,
         supports_plan_cache=True,
+        supports_mmap=True,
         encode=io.blocked_payload,
         decode=io.read_blocked,
         peek=io.peek_blocked,
@@ -150,6 +154,7 @@ register(
         "et al.)",
         supports_executor=True,
         supports_threads=True,
+        supports_mmap=True,
         encode=io.cla_payload,
         decode=io.read_cla,
         peek=io.peek_cla,
@@ -167,6 +172,7 @@ register(
         supports_executor=True,
         supports_threads=True,
         supports_plan_cache=True,
+        supports_mmap=True,
         encode=io.sharded_payload,
         decode=io.read_sharded,
         peek=io.peek_sharded,

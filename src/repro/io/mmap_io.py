@@ -1,0 +1,157 @@
+"""mmap-backed zero-copy open for GCMX files.
+
+:func:`load_matrix_mmap` (reached as ``load_matrix(path, mmap=True)``)
+maps the file once and decodes payload arrays as read-only
+``np.frombuffer`` views over the mapped region instead of heap copies.
+Opening then costs O(header) — the OS faults payload pages in on first
+access and evicts them under memory pressure, so a server can keep far
+more matrices "resident" than RAM would allow with copy loads.
+
+Capability gating happens *before* the file is mapped: the header
+prefix is read with ordinary IO, the kind's
+:class:`~repro.formats.FormatSpec` is consulted, and only specs with
+``supports_mmap=True`` proceed to mapping — everything else (the
+scipy-backed CSR family, which mutates its arrays after decode, and
+the gzip/xz streams, which decompress into fresh buffers anyway) takes
+the plain :func:`~repro.io.serialize.load_matrix` copy path.  Checking
+first matters because closing an ``mmap`` with live exported views
+raises ``BufferError``; by deciding up front we never need to unmap.
+
+Lifetime: the decoded arrays hold the mapped region through their
+``.base`` chain (ndarray → memoryview → mmap), so the mapping lives
+exactly as long as the matrices decoded from it and is unmapped by the
+garbage collector afterwards.  Nothing closes it explicitly.
+
+Deliberate differences from the copy path:
+
+- the fault-injection hook (:func:`repro.resilience.faults.on_read`)
+  is bypassed — it operates on materialized ``bytes`` and would defeat
+  the point of mapping; chaos coverage for mmap serving goes through
+  the per-shard section loads instead;
+- the *outer* CRC footer is stripped but not hashed (hashing is
+  O(bytes); ``repro verify`` and the store catalog own deep checks).
+  Nested shard sections *are* still verified on access by
+  :func:`loads_section_mmap`, because a lazy shard load by definition
+  touches exactly those bytes.
+"""
+
+from __future__ import annotations
+
+import mmap as _mmap
+from typing import Any
+
+from repro.resilience.integrity import strip_footer, verify_blob
+
+#: Sharded sections are complete GCMX blobs; anything shorter than a
+#: header cannot identify its kind.
+_HEADER_PROBE_BYTES = 6
+
+
+def map_view(path: Any) -> memoryview:
+    """A read-only :class:`memoryview` over the whole mapped file.
+
+    The view owns the mapping: slices of it are zero-copy sub-views,
+    and the underlying ``mmap`` object is released only when the view
+    and every array decoded from it are garbage collected.
+    """
+    with open(path, "rb") as fh:
+        mapped = _mmap.mmap(fh.fileno(), 0, access=_mmap.ACCESS_READ)
+    return memoryview(mapped)
+
+
+def mmap_capable(path: Any) -> bool:
+    """Whether ``path``'s format takes the zero-copy path.
+
+    Reads only the 6-byte header probe — never maps, never decodes.
+    Unknown kinds and codec-less specs report ``False`` (the copy path
+    is the one that knows how to fail them with a typed error).
+    """
+    from repro import formats
+    from repro.errors import SerializationError
+    from repro.io.serialize import _read_header
+
+    with open(path, "rb") as fh:
+        head = fh.read(_HEADER_PROBE_BYTES)
+    try:
+        kind, _ = _read_header(head)
+        spec = formats.by_kind(kind)
+    except SerializationError:
+        return False
+    return spec.supports_mmap and spec.decode is not None
+
+
+def loads_section_mmap(section: Any, source: Any = None) -> Any:
+    """Decode one complete GCMX blob (typically a shard section view).
+
+    The section's own CRC footer *is* verified — per-section
+    verification is the contract of the lazy serving path, and the
+    section bytes are being faulted in for decoding anyway.  Storage
+    arrays come out as read-only views when the section's format
+    supports it, copies otherwise (a sharded container may mix
+    capable and incapable section kinds).
+    """
+    import contextlib
+
+    from repro import formats
+    from repro.io.serialize import (
+        _payload_guard,
+        _read_header,
+        zero_copy_decode,
+    )
+
+    body, _integrity = verify_blob(section, source=source)
+    kind, pos = _read_header(body)
+    spec = formats.by_kind(kind)
+    if spec.decode is None:
+        from repro.errors import SerializationError
+
+        raise SerializationError(
+            f"format {spec.name!r} has no serialization codec"
+        )
+    guard = zero_copy_decode() if spec.supports_mmap else contextlib.nullcontext()
+    with _payload_guard(kind, f"decode {spec.name!r}"), guard:
+        matrix, _ = spec.decode(body, pos)
+    return matrix
+
+
+def load_matrix_mmap(path: Any) -> Any:
+    """Open ``path`` zero-copy when its format allows, copy-load otherwise.
+
+    Sharded containers are decoded section by section so each section's
+    kind is gated independently — a container mixing ``re_ans`` and
+    ``csr`` shards gets views for the former and safe copies for the
+    latter.
+    """
+    from repro.io.serialize import (
+        KIND_SHARDED,
+        _payload_guard,
+        _read_header,
+        _read_shard_table,
+        load_matrix,
+        zero_copy_decode,
+    )
+
+    if not mmap_capable(path):
+        return load_matrix(path)
+
+    from repro import formats
+
+    view = map_view(path)
+    body = strip_footer(view)
+    kind, pos = _read_header(body)
+    spec = formats.by_kind(kind)
+    if kind == KIND_SHARDED:
+        from repro.shard.matrix import ShardedMatrix
+
+        with _payload_guard(kind, "read shard manifest of"):
+            shape, entries, _ = _read_shard_table(body, pos)
+        shards = []
+        for entry in entries:
+            section = body[entry.offset : entry.offset + entry.length]
+            shards.append(
+                loads_section_mmap(section, source=f"{path}#shard{entry.index}")
+            )
+        return ShardedMatrix(shards, shape)
+    with _payload_guard(kind, f"decode {spec.name!r}"), zero_copy_decode():
+        matrix, _ = spec.decode(body, pos)
+    return matrix

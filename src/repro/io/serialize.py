@@ -39,8 +39,9 @@ from __future__ import annotations
 
 import contextlib
 import struct
+import threading
 from collections.abc import Callable, Iterator
-from typing import Any
+from typing import Any, Union
 
 import numpy as np
 
@@ -65,6 +66,13 @@ from repro.resilience.integrity import (
 
 _MAGIC = b"GCMX"
 _VERSION = 1
+
+#: Buffer types every decoder accepts.  ``load_matrix(..., mmap=True)``
+#: feeds :class:`memoryview` slices of an ``mmap``-ed region through the
+#: same codec functions that normally see ``bytes``; slicing a
+#: memoryview is zero-copy, so the decoded arrays can stay views over
+#: the mapped file.
+BytesLike = Union[bytes, bytearray, memoryview]
 
 #: Serialization kind tags (the byte after the version byte).  The
 #: original format defined 0–2; 3–8 were added when the remaining
@@ -103,6 +111,35 @@ _BARE_DECODE_ERRORS = (
 )
 
 
+#: Thread-local zero-copy switch: when active, ``_get_floats`` (and the
+#: ``re_32`` storage decode) return read-only ``np.frombuffer`` views
+#: instead of heap copies.  Only :mod:`repro.io.mmap_io` activates it,
+#: and only for formats whose spec advertises ``supports_mmap`` — the
+#: views then keep the underlying mapped region alive through their
+#: ``.base`` chain.
+_ZERO_COPY = threading.local()
+
+
+def zero_copy_active() -> bool:
+    """Whether the current thread decodes storage arrays as views."""
+    return getattr(_ZERO_COPY, "depth", 0) > 0
+
+
+@contextlib.contextmanager
+def zero_copy_decode() -> Iterator[None]:
+    """Decode float/uint32 storage as read-only views over the input.
+
+    The caller owns the input buffer's lifetime only until the decoded
+    arrays exist — after that the arrays' ``.base`` chain keeps it
+    alive, so an mmap-backed buffer must not be explicitly closed.
+    """
+    _ZERO_COPY.depth = getattr(_ZERO_COPY, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _ZERO_COPY.depth -= 1
+
+
 @contextlib.contextmanager
 def _payload_guard(kind: int, action: str) -> Iterator[None]:
     """Re-raise payload decode failures as typed serialization errors."""
@@ -138,7 +175,7 @@ def saves_matrix(matrix: Any) -> bytes:
     return append_footer(_header(spec.kind) + spec.encode(matrix))
 
 
-def loads_matrix(data: bytes) -> Any:
+def loads_matrix(data: BytesLike) -> Any:
     """Inverse of :func:`saves_matrix`.
 
     The checksum footer (when present) is verified and stripped before
@@ -166,14 +203,25 @@ def save_matrix(matrix: Any, path: Any) -> None:
         fh.write(saves_matrix(matrix))
 
 
-def load_matrix(path: Any) -> Any:
+def load_matrix(path: Any, mmap: bool = False) -> Any:
     """Deserialize from a file.
 
     The raw bytes pass through the fault-injection hook
     (:func:`repro.resilience.faults.on_read`) before decoding, so the
     chaos battery can corrupt, truncate, delay, or fail this exact
     read without monkeypatching.
+
+    With ``mmap=True`` the file is opened as :mod:`repro.io.mmap_io`
+    describes: payload arrays become read-only views over an
+    ``mmap``-ed region when the format's spec advertises
+    ``supports_mmap`` (copy-load fallback otherwise).  The mapped path
+    bypasses the fault hook and defers whole-file CRC hashing to
+    ``repro verify`` — mapping must stay O(header), not O(bytes).
     """
+    if mmap:
+        from repro.io.mmap_io import load_matrix_mmap
+
+        return load_matrix_mmap(path)
     with open(path, "rb") as fh:
         blob = fh.read()
     blob = _faults.on_read(_faults.SITE_LOAD_MATRIX, path, blob)
@@ -185,7 +233,7 @@ def load_matrix(path: Any) -> Any:
 PEEK_PREFIX_BYTES = 128
 
 
-def peek_matrix_info(data: bytes) -> dict:
+def peek_matrix_info(data: BytesLike) -> dict:
     """Describe a GCMX blob from its header without materialising it.
 
     Only the leading metadata fields are parsed — a
@@ -248,7 +296,7 @@ def _header(kind: int) -> bytes:
     return _MAGIC + bytes([_VERSION, kind])
 
 
-def _read_header(data: bytes) -> tuple[int, int]:
+def _read_header(data: BytesLike) -> tuple[int, int]:
     if data[: len(_MAGIC)] != _MAGIC:
         raise SerializationError("bad magic — not a GCMX blob")
     pos = len(_MAGIC)
@@ -264,7 +312,7 @@ def _put_bytes(blob: bytes) -> bytes:
     return encode_uvarint(len(blob)) + blob
 
 
-def _get_bytes(data: bytes, pos: int) -> tuple[bytes, int]:
+def _get_bytes(data: BytesLike, pos: int) -> tuple[BytesLike, int]:
     length, pos = decode_uvarint(data, pos)
     if pos + length > len(data):
         raise SerializationError("truncated byte field")
@@ -275,9 +323,12 @@ def _put_floats(values: np.ndarray) -> bytes:
     return _put_bytes(np.ascontiguousarray(values, dtype=np.float64).tobytes())
 
 
-def _get_floats(data: bytes, pos: int) -> tuple[np.ndarray, int]:
+def _get_floats(data: BytesLike, pos: int) -> tuple[np.ndarray, int]:
     raw, pos = _get_bytes(data, pos)
-    return np.frombuffer(raw, dtype=np.float64).copy(), pos
+    arr = np.frombuffer(raw, dtype=np.float64)
+    if zero_copy_active():
+        return arr, pos  # read-only view; .base keeps the buffer alive
+    return arr.copy(), pos
 
 
 def _put_ints(values: np.ndarray) -> bytes:
@@ -285,7 +336,7 @@ def _put_ints(values: np.ndarray) -> bytes:
     return _put_bytes(IntVector(np.asarray(values, dtype=np.int64)).to_bytes())
 
 
-def _get_ints(data: bytes, pos: int) -> tuple[np.ndarray, int]:
+def _get_ints(data: BytesLike, pos: int) -> tuple[np.ndarray, int]:
     raw, pos = _get_bytes(data, pos)
     return IntVector.from_bytes(raw).to_numpy(), pos
 
@@ -294,16 +345,16 @@ def _put_shape(shape: tuple[int, int]) -> bytes:
     return encode_uvarint(int(shape[0])) + encode_uvarint(int(shape[1]))
 
 
-def _get_shape(data: bytes, pos: int) -> tuple[tuple[int, int], int]:
+def _get_shape(data: BytesLike, pos: int) -> tuple[tuple[int, int], int]:
     n, pos = decode_uvarint(data, pos)
     m, pos = decode_uvarint(data, pos)
     return (n, m), pos
 
 
-def _peek_shape_only(kind_name: str) -> Callable[[bytes, int], dict]:
+def _peek_shape_only(kind_name: str) -> Callable[[BytesLike, int], dict]:
     """Peek function for payloads that lead with the two shape varints."""
 
-    def peek(data: bytes, pos: int) -> dict:
+    def peek(data: BytesLike, pos: int) -> dict:
         shape, _ = _get_shape(data, pos)
         return {"kind": kind_name, "shape": shape}
 
@@ -323,7 +374,7 @@ def csrv_payload(matrix: CSRVMatrix, include_values: bool = True) -> bytes:
 
 
 def read_csrv(
-    data: bytes, pos: int, values: np.ndarray | None = None
+    data: BytesLike, pos: int, values: np.ndarray | None = None
 ) -> tuple[CSRVMatrix, int]:
     shape, pos = _get_shape(data, pos)
     if values is None:
@@ -363,7 +414,7 @@ def gcm_payload(matrix: GrammarCompressedMatrix, include_values: bool = True) ->
 
 
 def read_gcm(
-    data: bytes, pos: int, values: np.ndarray | None = None
+    data: BytesLike, pos: int, values: np.ndarray | None = None
 ) -> tuple[GrammarCompressedMatrix, int]:
     if pos >= len(data):
         raise SerializationError("truncated GCM payload")
@@ -381,8 +432,11 @@ def read_gcm(
     raw_c, pos = _get_bytes(data, pos)
     raw_r, pos = _get_bytes(data, pos)
     if variant == "re_32":
-        c_storage = np.frombuffer(raw_c, dtype=np.uint32).copy()
-        r_storage = np.frombuffer(raw_r, dtype=np.uint32).copy()
+        c_storage = np.frombuffer(raw_c, dtype=np.uint32)
+        r_storage = np.frombuffer(raw_r, dtype=np.uint32)
+        if not zero_copy_active():
+            c_storage = c_storage.copy()
+            r_storage = r_storage.copy()
     elif variant == "re_iv":
         c_storage = IntVector.from_bytes(raw_c)
         r_storage = IntVector.from_bytes(raw_r)
@@ -402,7 +456,7 @@ def read_gcm(
     return matrix, pos
 
 
-def peek_gcm(data: bytes, pos: int) -> dict:
+def peek_gcm(data: BytesLike, pos: int) -> dict:
     if pos >= len(data):
         raise SerializationError("truncated GCM payload")
     variant = _TAG_VARIANTS.get(data[pos])
@@ -456,7 +510,7 @@ def blocked_payload(matrix: BlockedMatrix) -> bytes:
     return bytes(out)
 
 
-def read_blocked(data: bytes, pos: int) -> tuple[BlockedMatrix, int]:
+def read_blocked(data: BytesLike, pos: int) -> tuple[BlockedMatrix, int]:
     shape, pos = _get_shape(data, pos)
     n_blocks, pos = decode_uvarint(data, pos)
     values, pos = _get_floats(data, pos)
@@ -476,7 +530,7 @@ def read_blocked(data: bytes, pos: int) -> tuple[BlockedMatrix, int]:
     return BlockedMatrix(blocks, shape), pos
 
 
-def peek_blocked(data: bytes, pos: int) -> dict:
+def peek_blocked(data: BytesLike, pos: int) -> dict:
     shape, pos = _get_shape(data, pos)
     n_blocks, pos = decode_uvarint(data, pos)
     return {"kind": "blocked", "shape": shape, "n_blocks": n_blocks}
@@ -490,7 +544,7 @@ def dense_payload(matrix: Any) -> bytes:
     return _put_shape(matrix.shape) + _put_floats(dense.ravel())
 
 
-def read_dense(data: bytes, pos: int) -> tuple[Any, int]:
+def read_dense(data: BytesLike, pos: int) -> tuple[Any, int]:
     from repro.baselines.dense import DenseMatrix
 
     shape, pos = _get_shape(data, pos)
@@ -520,7 +574,7 @@ def csr_payload(matrix: Any) -> bytes:
     return bytes(out)
 
 
-def _read_csr_arrays(data: bytes, pos: int) -> tuple[Any, int]:
+def _read_csr_arrays(data: BytesLike, pos: int) -> tuple[Any, int]:
     from scipy import sparse
 
     shape, pos = _get_shape(data, pos)
@@ -533,22 +587,22 @@ def _read_csr_arrays(data: bytes, pos: int) -> tuple[Any, int]:
     return sparse.csr_matrix((values, indices, indptr), shape=shape), pos
 
 
-def read_csr(data: bytes, pos: int) -> tuple[Any, int]:
+def read_csr(data: BytesLike, pos: int) -> tuple[Any, int]:
     from repro.baselines.csr import CSRMatrix
 
     csr, pos = _read_csr_arrays(data, pos)
     return CSRMatrix.from_scipy(csr), pos
 
 
-def read_csr_iv(data: bytes, pos: int) -> tuple[Any, int]:
+def read_csr_iv(data: BytesLike, pos: int) -> tuple[Any, int]:
     from repro.baselines.csr import CSRIVMatrix
 
     csr, pos = _read_csr_arrays(data, pos)
     return CSRIVMatrix.from_scipy(csr), pos
 
 
-def _peek_csr(kind_name: str) -> Callable[[bytes, int], dict]:
-    def peek(data: bytes, pos: int) -> dict:
+def _peek_csr(kind_name: str) -> Callable[[BytesLike, int], dict]:
+    def peek(data: BytesLike, pos: int) -> dict:
         shape, pos = _get_shape(data, pos)
         nnz, _ = decode_uvarint(data, pos)
         return {"kind": kind_name, "shape": shape, "nnz": nnz}
@@ -595,7 +649,7 @@ def cla_payload(matrix: Any) -> bytes:
     return bytes(out)
 
 
-def read_cla(data: bytes, pos: int) -> tuple[Any, int]:
+def read_cla(data: BytesLike, pos: int) -> tuple[Any, int]:
     from repro.cla.colgroup import (
         ColumnGroupDDC,
         ColumnGroupOLE,
@@ -645,7 +699,7 @@ def read_cla(data: bytes, pos: int) -> tuple[Any, int]:
     return CLAMatrix(groups, shape), pos
 
 
-def peek_cla(data: bytes, pos: int) -> dict:
+def peek_cla(data: BytesLike, pos: int) -> dict:
     shape, pos = _get_shape(data, pos)
     n_groups, _ = decode_uvarint(data, pos)
     return {"kind": "cla", "shape": shape, "n_groups": n_groups}
@@ -699,7 +753,7 @@ def sharded_payload(matrix: Any) -> bytes:
 
 
 def _read_shard_table(
-    data: bytes, pos: int
+    data: BytesLike, pos: int
 ) -> tuple[tuple[int, int], list[ShardManifestEntry], int]:
     """Parse the manifest: ``(shape, entries, first_section_pos)``."""
     shape, pos = _get_shape(data, pos)
@@ -723,7 +777,7 @@ def _read_shard_table(
     return shape, entries, pos
 
 
-def read_sharded(data: bytes, pos: int) -> tuple[Any, int]:
+def read_sharded(data: BytesLike, pos: int) -> tuple[Any, int]:
     from repro.shard.matrix import ShardedMatrix
 
     shape, entries, _ = _read_shard_table(data, pos)
@@ -740,7 +794,7 @@ def read_sharded(data: bytes, pos: int) -> tuple[Any, int]:
     return ShardedMatrix(shards, shape), last.offset + last.length
 
 
-def peek_sharded(data: bytes, pos: int) -> dict:
+def peek_sharded(data: BytesLike, pos: int) -> dict:
     shape, pos = _get_shape(data, pos)
     n_shards, _ = decode_uvarint(data, pos)
     return {"kind": "sharded", "shape": shape, "n_shards": n_shards}
@@ -809,8 +863,8 @@ def stream_payload(matrix: Any) -> bytes:
     return _put_shape(matrix.shape) + _put_bytes(matrix.blob)
 
 
-def _read_stream(cls: Any) -> Callable[[bytes, int], tuple[Any, int]]:
-    def read(data: bytes, pos: int) -> tuple[Any, int]:
+def _read_stream(cls: Any) -> Callable[[BytesLike, int], tuple[Any, int]]:
+    def read(data: BytesLike, pos: int) -> tuple[Any, int]:
         shape, pos = _get_shape(data, pos)
         blob, pos = _get_bytes(data, pos)
         return cls.from_blob(shape, blob), pos
@@ -818,13 +872,13 @@ def _read_stream(cls: Any) -> Callable[[bytes, int], tuple[Any, int]]:
     return read
 
 
-def read_gzip(data: bytes, pos: int) -> tuple[Any, int]:
+def read_gzip(data: BytesLike, pos: int) -> tuple[Any, int]:
     from repro.baselines.gzip_xz import GzipMatrix
 
     return _read_stream(GzipMatrix)(data, pos)
 
 
-def read_xz(data: bytes, pos: int) -> tuple[Any, int]:
+def read_xz(data: BytesLike, pos: int) -> tuple[Any, int]:
     from repro.baselines.gzip_xz import XzMatrix
 
     return _read_stream(XzMatrix)(data, pos)

@@ -26,9 +26,16 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Any
+from typing import Any, Union
 
 from repro.errors import IntegrityError
+
+#: Buffer types the verification helpers accept.  The mmap open path
+#: (:mod:`repro.io.mmap_io`) feeds zero-copy :class:`memoryview`
+#: slices through the same footer machinery that normally sees
+#: ``bytes``; slicing a memoryview keeps it a view, so splitting the
+#: footer off a mapped region copies nothing.
+BytesLike = Union[bytes, bytearray, memoryview]
 
 #: Trailing magic identifying a checksum footer ("GCMX Checksum Footer").
 FOOTER_MAGIC = b"GXCF"
@@ -40,13 +47,14 @@ FOOTER_BYTES = 8
 INTEGRITY_VERIFIED = "verified"      #: footer present, CRC checked OK
 INTEGRITY_PRESENT = "present"        #: footer present, CRC not yet checked
 INTEGRITY_UNVERIFIED = "unverified"  #: pre-footer payload, nothing to check
+INTEGRITY_FAILED = "failed"          #: last verification raised (catalog state)
 
 #: A GCMX body is at least magic (4) + version/kind (2) bytes; anything
 #: shorter cannot also carry a footer, so it is never split.
 _MIN_BODY = 6
 
 
-def payload_crc(body: bytes) -> int:
+def payload_crc(body: BytesLike) -> int:
     """The checksum the footer stores for ``body``."""
     return zlib.crc32(body) & 0xFFFFFFFF
 
@@ -56,29 +64,29 @@ def append_footer(body: bytes) -> bytes:
     return body + FOOTER_MAGIC + struct.pack("<I", payload_crc(body))
 
 
-def split_footer(data: bytes) -> tuple[bytes, int | None]:
+def split_footer(data: BytesLike) -> tuple[BytesLike, int | None]:
     """``(body, stored_crc)`` — ``(data, None)`` when no footer is present.
 
     Detection is by the trailing magic; a pre-footer blob whose last
     bytes coincidentally match has a 2^-32 chance of a false split,
     which then fails the CRC comparison rather than decoding garbage.
     """
-    if len(data) >= _MIN_BODY + FOOTER_BYTES and data[-8:-4] == FOOTER_MAGIC:
+    if len(data) >= _MIN_BODY + FOOTER_BYTES and bytes(data[-8:-4]) == FOOTER_MAGIC:
         return data[:-8], struct.unpack("<I", data[-4:])[0]
     return data, None
 
 
-def strip_footer(data: bytes) -> bytes:
+def strip_footer(data: BytesLike) -> BytesLike:
     """The body bytes, with the footer (if any) removed — no CRC check."""
     return split_footer(data)[0]
 
 
-def has_footer(data: bytes) -> bool:
+def has_footer(data: BytesLike) -> bool:
     """Whether ``data`` carries a checksum footer."""
     return split_footer(data)[1] is not None
 
 
-def verify_blob(data: bytes, source: Any = None) -> tuple[bytes, str]:
+def verify_blob(data: BytesLike, source: Any = None) -> tuple[BytesLike, str]:
     """Check ``data``'s footer and return ``(body, integrity_state)``.
 
     Footer-less input passes through untouched as
@@ -92,7 +100,7 @@ def verify_blob(data: bytes, source: Any = None) -> tuple[bytes, str]:
     """
     body, stored = split_footer(data)
     if stored is None:
-        if len(data) > _MIN_BODY and FOOTER_MAGIC in data[-(FOOTER_BYTES + 3):]:
+        if len(data) > _MIN_BODY and FOOTER_MAGIC in bytes(data[-(FOOTER_BYTES + 3):]):
             where = f" in {source}" if source is not None else ""
             raise IntegrityError(
                 f"checksum footer is truncated{where}: magic "

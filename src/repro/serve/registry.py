@@ -47,7 +47,12 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import DeadlineExceededError, ReproError, SerializationError
-from repro.io.serialize import format_of_info, load_matrix, read_matrix_info
+from repro.io.serialize import (
+    ShardManifestEntry,
+    format_of_info,
+    load_matrix,
+    read_matrix_info,
+)
 from repro.resilience.policy import (
     STATE_CLOSED,
     STATE_OPEN,
@@ -94,6 +99,9 @@ class RegistryEntry:
     info: dict = field(default_factory=dict)
     matrix: Any = None
     resident_bytes: int = 0
+    #: shard placement from the store catalog — lets a lazy sharded
+    #: load skip the manifest read entirely (``None`` = read from file).
+    manifest: list[ShardManifestEntry] | None = None
     #: serialises concurrent cold loads of this one entry.
     load_lock: threading.Lock = field(default_factory=threading.Lock)
     #: guards this entry's load path (set by ``register``).
@@ -139,6 +147,8 @@ class MatrixRegistry:
         retry_policy: RetryPolicy | None = None,
         breaker_threshold: int = 3,
         breaker_reset: float = 30.0,
+        store: Any = None,
+        mmap: bool = False,
     ) -> None:
         if byte_budget is not None and byte_budget < 1:
             raise ReproError(f"byte_budget must be >= 1, got {byte_budget}")
@@ -153,12 +163,19 @@ class MatrixRegistry:
         self._lock = threading.RLock()
         #: access-ordered: least recently used first.
         self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
+        self._mmap = bool(mmap)
+        self._store: Any = None
         self.hits = 0
         self.misses = 0
         self.loads = 0
         self.evictions = 0
         self.load_retries = 0
         self.load_failures = 0
+        #: header prefixes parsed by :meth:`register` — the cost a
+        #: catalog-driven cold start avoids (store-smoke asserts 0).
+        self.header_reads = 0
+        #: entries built purely from catalog rows (no file IO at all).
+        self.catalog_registrations = 0
         # Shard counters of lazy sharded matrices that were since
         # whole-evicted — folded in here so /stats never goes backwards.
         self._shard_loads_absorbed = 0
@@ -167,6 +184,8 @@ class MatrixRegistry:
         self._shard_failures_absorbed = 0
         if root is not None:
             self.scan(root)
+        if store is not None:
+            self.register_store(store)
 
     # -- registration ------------------------------------------------------------
 
@@ -179,6 +198,7 @@ class MatrixRegistry:
         path = Path(path)
         info = read_matrix_info(path)
         with self._lock:
+            self.header_reads += 1
             entry = RegistryEntry(
                 name=name,
                 path=path,
@@ -212,6 +232,83 @@ class MatrixRegistry:
                 continue
             names.append(path.stem)
         return names
+
+    def register_from_catalog(self, record: Any, shards: Any = ()) -> RegistryEntry:
+        """Register one matrix from a store catalog row — zero file IO.
+
+        ``record`` is a :class:`repro.store.CatalogEntry`; ``shards``
+        its :class:`repro.store.ShardRow` rows for sharded containers.
+        The registry entry's info dict is reconstructed from the row
+        and the shard placement becomes the entry's ``manifest``, so
+        neither registration nor the eventual lazy load re-reads the
+        header or the shard table.
+        """
+        manifest = (
+            [s.manifest_entry() for s in shards] if shards else None
+        )
+        with self._lock:
+            self.catalog_registrations += 1
+            entry = RegistryEntry(
+                name=record.name,
+                path=Path(record.path),
+                info=record.info(),
+                manifest=manifest,
+                breaker=CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    reset_timeout=self._breaker_reset,
+                    name=f"matrix {record.name!r}",
+                ),
+            )
+            self._entries[record.name] = entry
+            self._entries.move_to_end(record.name, last=False)
+            return entry
+
+    def register_store(self, store: Any) -> list[str]:
+        """Register every matrix of a store from its catalog.
+
+        ``store`` is a :class:`repro.store.MatrixStore` or a store root
+        path.  Cost is O(catalog rows): the only file touched is
+        ``catalog.sqlite`` — restart latency no longer scales with
+        payload bytes.  Sharded entries carry their shard placement
+        from the catalog, so even the first request reads no manifest.
+        """
+        from repro.store import MatrixStore
+
+        if not isinstance(store, MatrixStore):
+            store = MatrixStore(store, create=False)
+        names = []
+        for record in store.entries():
+            shards = (
+                store.catalog.shards(record.name)
+                if record.kind == "sharded"
+                else ()
+            )
+            self.register_from_catalog(record, shards)
+            names.append(record.name)
+        with self._lock:
+            self._store = store
+        return sorted(names)
+
+    @property
+    def store(self) -> Any:
+        """The attached :class:`repro.store.MatrixStore`, if any."""
+        with self._lock:
+            return self._store
+
+    def store_info(self) -> dict[str, Any] | None:
+        """Catalog summary for ``/store`` (``None`` without a store)."""
+        with self._lock:
+            store = self._store
+        if store is None:
+            return None
+        return {
+            "root": str(store.root),
+            "catalog": str(store.catalog.path),
+            "schema_version": store.catalog.schema_version(),
+            "matrices": len(store),
+            "total_bytes": store.total_bytes(),
+            "mmap": self._mmap,
+        }
 
     # -- lookup -------------------------------------------------------------------
 
@@ -355,14 +452,18 @@ class MatrixRegistry:
         if self._lazy_shards and entry.info.get("kind") == "sharded":
             from repro.shard.matrix import LazyShardedMatrix
 
+            shape = entry.info.get("shape")
             return LazyShardedMatrix(
                 entry.path,
                 shard_byte_budget=self._budget,
                 retry_policy=self._retry,
                 breaker_threshold=self._breaker_threshold,
                 breaker_reset=self._breaker_reset,
+                manifest=entry.manifest,
+                shape=tuple(shape) if shape is not None else None,
+                mmap=self._mmap,
             )
-        return load_matrix(entry.path)
+        return load_matrix(entry.path, mmap=self._mmap)
 
     def _refresh_residency(self, entry: RegistryEntry) -> None:
         """Re-poll entries whose footprint moves between requests
@@ -504,6 +605,10 @@ class MatrixRegistry:
                 "evictions": self.evictions,
                 "load_retries": self.load_retries,
                 "load_failures": self.load_failures,
+                "header_reads": self.header_reads,
+                "catalog_registrations": self.catalog_registrations,
+                "mmap": self._mmap,
+                "store": self._store is not None,
                 "breaker_opens": breaker_opens,
                 "quarantined": quarantined,
                 "degraded": degraded,

@@ -34,6 +34,11 @@ is ``http.server`` + ``json``):
     sharded containers served shard-by-shard), per-matrix request
     counts with latency percentiles, job counters, and the package
     version.
+``GET /store``
+    Catalog summary when the server was started against a
+    :class:`repro.store.MatrixStore` (``repro serve --store``): root,
+    schema version, row count, total payload bytes, mmap mode.  ``404``
+    when serving a plain directory.
 ``GET /healthz``
     Liveness probe.
 
@@ -255,7 +260,17 @@ class MatrixServer:
             "workers": self.executor.workers if self.executor else 1,
             "request_deadline_ms": self.request_deadline_ms,
             "leaked_threads": self.leaked_threads,
+            "store": self.registry.store_info(),
         }
+
+    def store_payload(self) -> dict:
+        """Answer ``GET /store`` — 404 when serving a plain directory."""
+        info = self.registry.store_info()
+        if info is None:
+            raise _RequestError(
+                404, "no store attached (server was started without --store)"
+            )
+        return info
 
     def _request_deadline(self) -> Deadline | None:
         """A fresh deadline for one request (``None`` when unset)."""
@@ -498,6 +513,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._guarded(lambda: self.app.job_detail(job_id))
         elif path == "/stats":
             self._guarded(self.app.stats_payload)
+        elif path == "/store":
+            self._guarded(self.app.store_payload)
         elif path == "/healthz":
             self._respond(200, {"status": "ok"})
         else:

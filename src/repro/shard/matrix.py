@@ -374,11 +374,20 @@ class LazyShardedMatrix(_ShardFanout):
         retry_policy: RetryPolicy | None = None,
         breaker_threshold: int = 3,
         breaker_reset: float = 30.0,
+        manifest: list | None = None,
+        shape: tuple[int, int] | None = None,
+        mmap: bool = False,
     ):
-        from repro.io.serialize import read_shard_manifest
-
         self._path = path
-        self._shape, self._manifest = read_shard_manifest(path)
+        if manifest is not None and shape is not None:
+            # Catalog-driven open: the store already holds the shard
+            # table, so construction costs zero file IO.
+            self._shape = (int(shape[0]), int(shape[1]))
+            self._manifest = list(manifest)
+        else:
+            from repro.io.serialize import read_shard_manifest
+
+            self._shape, self._manifest = read_shard_manifest(path)
         self._offsets = _offsets_of([e.n_rows for e in self._manifest])
         self._budget = shard_byte_budget
         self._retain_plans = bool(retain_plans)
@@ -392,6 +401,8 @@ class LazyShardedMatrix(_ShardFanout):
         self._breaker_threshold = int(breaker_threshold)
         self._breaker_reset = float(breaker_reset)
         self._breakers: dict[int, CircuitBreaker] = {}
+        self._mmap = bool(mmap)
+        self._view: memoryview | None = None
         self.shard_loads = 0
         self.shard_evictions = 0
         self.shard_retries = 0
@@ -467,9 +478,37 @@ class LazyShardedMatrix(_ShardFanout):
                 self._breakers[i] = breaker
             return breaker
 
+    def _map_file(self) -> memoryview:
+        """The shared read-only view over the mapped container file."""
+        with self._lock:
+            if self._view is None:
+                from repro.io.mmap_io import map_view
+
+                self._view = map_view(self._path)
+            return self._view
+
     def _load_shard(self, i: int):
-        """One load attempt: read, fault hook, deadline check, decode."""
+        """One load attempt: read, fault hook, deadline check, decode.
+
+        In mmap mode the section is a zero-copy slice of the shared
+        mapped view and its CRC footer is still verified
+        (:func:`repro.io.mmap_io.loads_section_mmap`); the
+        fault-injection hook is bypassed — it rewrites materialized
+        ``bytes``, which a mapped region deliberately never becomes.
+        Eviction then just drops the decoded views; the mapping stays
+        alive (and any arrays handed out stay valid) through their
+        ``.base`` chain until nothing references it.
+        """
         entry = self._manifest[i]
+        if self._mmap:
+            view = self._map_file()
+            section = view[entry.offset : entry.offset + entry.length]
+            check_deadline(f"shard {i} load of {self._path}")
+            from repro.io.mmap_io import loads_section_mmap
+
+            return loads_section_mmap(
+                section, source=f"{self._path}#shard{i}"
+            )
         with open(self._path, "rb") as fh:
             fh.seek(entry.offset)
             blob = fh.read(entry.length)

@@ -1,0 +1,28 @@
+"""repro.store — the mmap-backed matrix store with a SQLite catalog.
+
+A store is a directory of ``.gcmx`` payload files indexed by a
+``catalog.sqlite`` database (WAL, busy-timeout, schema-versioned
+migrations).  The serving registry opens a store by reading catalog
+rows only — restart cost is O(rows), not O(payload bytes) — and maps
+payloads on demand (:mod:`repro.io.mmap_io`).  The catalog is always
+rebuildable from the files (``repro store reindex``), so the payload
+directory remains the source of truth.
+"""
+
+from repro.store.catalog import (
+    Catalog,
+    CatalogEntry,
+    ShardRow,
+    SCHEMA_VERSION,
+)
+from repro.store.store import CATALOG_FILENAME, MatrixStore, is_store
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "ShardRow",
+    "SCHEMA_VERSION",
+    "CATALOG_FILENAME",
+    "MatrixStore",
+    "is_store",
+]

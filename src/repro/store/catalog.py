@@ -1,0 +1,355 @@
+"""The SQLite catalog behind :class:`repro.store.MatrixStore`.
+
+One row per registered matrix (header fields from
+:func:`repro.io.serialize.peek_matrix_info`, integrity state, build
+provenance, bench stats) plus one row per shard of a sharded
+container, so the serving registry can answer ``/matrices``, ``info``
+and lazy-shard placement from index lookups — no directory scan, no
+header read, no payload decode.
+
+Concurrency follows the WAL recipe: ``journal_mode=WAL`` lets one
+writer proceed under concurrent readers, ``busy_timeout`` makes a
+second writer queue instead of raising ``database is locked``, and
+``synchronous=NORMAL`` is durable-enough for an index that
+``reindex()`` can always rebuild from the ``.gcmx`` files themselves.
+Every public method opens its own short-lived connection — the
+:class:`Catalog` object holds no connection and no lock, so instances
+are freely shareable across threads and processes.
+
+Schema changes are migration entries: ``PRAGMA user_version`` tracks
+the applied version and :data:`MIGRATIONS` holds one append-only
+``(version, script)`` pair per revision.  Analyzer rule RA08 enforces
+both halves of the contract — schema statements may appear only inside
+:data:`MIGRATIONS`, and no module outside this one may open a SQLite
+connection.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import sqlite3
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Union
+
+from repro.io.serialize import ShardManifestEntry
+
+PathLike = Union[str, Path]
+
+#: Milliseconds a writer waits for a competing writer before erroring.
+BUSY_TIMEOUT_MS = 30_000
+
+#: Append-only schema history; ``PRAGMA user_version`` records the last
+#: entry applied.  Never edit an existing script — add a new pair (the
+#: v2 entry is the worked example: it grew the ``bench`` column after
+#: v1 shipped without one).
+MIGRATIONS: tuple[tuple[int, str], ...] = (
+    (
+        1,
+        """
+        CREATE TABLE matrices (
+            name          TEXT PRIMARY KEY,
+            path          TEXT NOT NULL,
+            kind          TEXT NOT NULL,
+            format        TEXT NOT NULL,
+            n_rows        INTEGER NOT NULL,
+            n_cols        INTEGER NOT NULL,
+            file_bytes    INTEGER NOT NULL,
+            integrity     TEXT NOT NULL,
+            extra         TEXT NOT NULL DEFAULT '{}',
+            provenance    TEXT NOT NULL DEFAULT '{}',
+            mtime_ns      INTEGER NOT NULL,
+            registered_at TEXT NOT NULL
+        );
+        CREATE TABLE shards (
+            matrix_name TEXT NOT NULL
+                REFERENCES matrices(name) ON DELETE CASCADE,
+            shard_index INTEGER NOT NULL,
+            row_start   INTEGER NOT NULL,
+            n_rows      INTEGER NOT NULL,
+            offset      INTEGER NOT NULL,
+            length      INTEGER NOT NULL,
+            integrity   TEXT NOT NULL,
+            PRIMARY KEY (matrix_name, shard_index)
+        );
+        CREATE INDEX shards_by_matrix ON shards(matrix_name);
+        """,
+    ),
+    (
+        2,
+        """
+        ALTER TABLE matrices ADD COLUMN bench TEXT NOT NULL DEFAULT '{}';
+        """,
+    ),
+)
+
+#: The version a fresh catalog migrates to.
+SCHEMA_VERSION = MIGRATIONS[-1][0]
+
+
+@dataclass(frozen=True)
+class ShardRow:
+    """One shard of a sharded container, as the catalog stores it."""
+
+    index: int
+    row_start: int
+    n_rows: int
+    offset: int
+    length: int
+    integrity: str
+
+    def manifest_entry(self) -> ShardManifestEntry:
+        """The equivalent serializer manifest entry (byte placement)."""
+        return ShardManifestEntry(
+            self.index, self.row_start, self.n_rows, self.offset, self.length
+        )
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One registered matrix: everything a registry row needs."""
+
+    name: str
+    path: str
+    kind: str
+    format: str
+    shape: tuple[int, int]
+    file_bytes: int
+    integrity: str
+    extra: dict[str, Any] = field(default_factory=dict)
+    provenance: dict[str, Any] = field(default_factory=dict)
+    bench: dict[str, Any] = field(default_factory=dict)
+    mtime_ns: int = 0
+    registered_at: str = ""
+
+    def info(self) -> dict[str, Any]:
+        """Reconstruct the :func:`read_matrix_info` dict from the row.
+
+        Field order matches the header peek (kind, shape, extras,
+        integrity, file_bytes) so catalog-driven listings are
+        indistinguishable from header-driven ones.
+        """
+        out: dict[str, Any] = {"kind": self.kind, "shape": self.shape}
+        out.update(self.extra)
+        out["integrity"] = self.integrity
+        out["file_bytes"] = self.file_bytes
+        return out
+
+
+def _utc_now() -> str:
+    return _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+
+
+def _entry_of_row(row: sqlite3.Row) -> CatalogEntry:
+    return CatalogEntry(
+        name=str(row["name"]),
+        path=str(row["path"]),
+        kind=str(row["kind"]),
+        format=str(row["format"]),
+        shape=(int(row["n_rows"]), int(row["n_cols"])),
+        file_bytes=int(row["file_bytes"]),
+        integrity=str(row["integrity"]),
+        extra=dict(json.loads(row["extra"])),
+        provenance=dict(json.loads(row["provenance"])),
+        bench=dict(json.loads(row["bench"])),
+        mtime_ns=int(row["mtime_ns"]),
+        registered_at=str(row["registered_at"]),
+    )
+
+
+class Catalog:
+    """All SQL against a store's ``catalog.sqlite`` lives here (RA08)."""
+
+    def __init__(self, path: PathLike):
+        self._path = str(path)
+        self.migrate()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """A short-lived connection with the WAL/busy-timeout pragmas.
+
+        Commits on clean exit, rolls back on exception, always closes —
+        per-call connections keep :class:`Catalog` free of shared
+        mutable state, so no lock discipline is needed.
+        """
+        conn = sqlite3.connect(self._path, timeout=BUSY_TIMEOUT_MS / 1000.0)
+        conn.row_factory = sqlite3.Row
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA foreign_keys=ON")
+            yield conn
+            conn.commit()
+        except BaseException:
+            conn.rollback()
+            raise
+        finally:
+            conn.close()
+
+    # -- schema ---------------------------------------------------------------------
+
+    def schema_version(self) -> int:
+        with self._connect() as conn:
+            row = conn.execute("PRAGMA user_version").fetchone()
+        return int(row[0])
+
+    def migrate(self) -> int:
+        """Apply pending :data:`MIGRATIONS`; returns the final version."""
+        with self._connect() as conn:
+            current = int(conn.execute("PRAGMA user_version").fetchone()[0])
+            for version, script in MIGRATIONS:
+                if version <= current:
+                    continue
+                conn.executescript(script)
+                # PRAGMA does not accept parameter markers.
+                conn.execute(f"PRAGMA user_version={int(version)}")
+                current = version
+        return current
+
+    # -- writes ---------------------------------------------------------------------
+
+    def upsert(
+        self, entry: CatalogEntry, shards: tuple[ShardRow, ...] = ()
+    ) -> None:
+        """Insert or replace one matrix row plus its shard rows."""
+        registered_at = entry.registered_at or _utc_now()
+        with self._connect() as conn:
+            conn.execute(
+                """
+                INSERT INTO matrices (
+                    name, path, kind, format, n_rows, n_cols, file_bytes,
+                    integrity, extra, provenance, bench, mtime_ns,
+                    registered_at
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT(name) DO UPDATE SET
+                    path=excluded.path, kind=excluded.kind,
+                    format=excluded.format, n_rows=excluded.n_rows,
+                    n_cols=excluded.n_cols, file_bytes=excluded.file_bytes,
+                    integrity=excluded.integrity, extra=excluded.extra,
+                    provenance=excluded.provenance, bench=excluded.bench,
+                    mtime_ns=excluded.mtime_ns,
+                    registered_at=excluded.registered_at
+                """,
+                (
+                    entry.name,
+                    entry.path,
+                    entry.kind,
+                    entry.format,
+                    int(entry.shape[0]),
+                    int(entry.shape[1]),
+                    int(entry.file_bytes),
+                    entry.integrity,
+                    json.dumps(entry.extra, sort_keys=True),
+                    json.dumps(entry.provenance, sort_keys=True),
+                    json.dumps(entry.bench, sort_keys=True),
+                    int(entry.mtime_ns),
+                    registered_at,
+                ),
+            )
+            conn.execute("DELETE FROM shards WHERE matrix_name=?", (entry.name,))
+            conn.executemany(
+                """
+                INSERT INTO shards (
+                    matrix_name, shard_index, row_start, n_rows, offset,
+                    length, integrity
+                ) VALUES (?, ?, ?, ?, ?, ?, ?)
+                """,
+                [
+                    (
+                        entry.name,
+                        s.index,
+                        s.row_start,
+                        s.n_rows,
+                        s.offset,
+                        s.length,
+                        s.integrity,
+                    )
+                    for s in shards
+                ],
+            )
+
+    def remove(self, name: str) -> bool:
+        """Drop one matrix (shard rows cascade); ``True`` if it existed."""
+        with self._connect() as conn:
+            cur = conn.execute("DELETE FROM matrices WHERE name=?", (name,))
+            return cur.rowcount > 0
+
+    def set_integrity(
+        self,
+        name: str,
+        state: str,
+        shard_states: tuple[str, ...] | None = None,
+    ) -> None:
+        """Record a verification outcome for a matrix (and its shards)."""
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE matrices SET integrity=? WHERE name=?", (state, name)
+            )
+            if shard_states is not None:
+                conn.executemany(
+                    "UPDATE shards SET integrity=? "
+                    "WHERE matrix_name=? AND shard_index=?",
+                    [(s, name, i) for i, s in enumerate(shard_states)],
+                )
+
+    def set_bench(self, name: str, stats: dict[str, Any]) -> None:
+        """Attach benchmark stats (JSON) to a matrix row."""
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE matrices SET bench=? WHERE name=?",
+                (json.dumps(stats, sort_keys=True), name),
+            )
+
+    # -- reads ----------------------------------------------------------------------
+
+    def get(self, name: str) -> CatalogEntry | None:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT * FROM matrices WHERE name=?", (name,)
+            ).fetchone()
+        return None if row is None else _entry_of_row(row)
+
+    def entries(self) -> list[CatalogEntry]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM matrices ORDER BY name"
+            ).fetchall()
+        return [_entry_of_row(row) for row in rows]
+
+    def names(self) -> list[str]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT name FROM matrices ORDER BY name"
+            ).fetchall()
+        return [str(row["name"]) for row in rows]
+
+    def count(self) -> int:
+        with self._connect() as conn:
+            row = conn.execute("SELECT COUNT(*) FROM matrices").fetchone()
+        return int(row[0])
+
+    def shards(self, name: str) -> list[ShardRow]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT * FROM shards WHERE matrix_name=? ORDER BY shard_index",
+                (name,),
+            ).fetchall()
+        return [
+            ShardRow(
+                index=int(row["shard_index"]),
+                row_start=int(row["row_start"]),
+                n_rows=int(row["n_rows"]),
+                offset=int(row["offset"]),
+                length=int(row["length"]),
+                integrity=str(row["integrity"]),
+            )
+            for row in rows
+        ]

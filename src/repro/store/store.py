@@ -1,0 +1,227 @@
+"""The mmap-backed matrix store: a directory of ``.gcmx`` files plus
+its SQLite catalog.
+
+File layout::
+
+    <root>/
+        catalog.sqlite     the index (repro.store.catalog)
+        <name>.gcmx        one payload file per matrix
+
+The payload files remain the source of truth — the catalog is a
+rebuildable index over them (:meth:`MatrixStore.reindex`), which is
+what lets ``synchronous=NORMAL`` be durable-enough and out-of-band
+file drops/edits be self-healing.  Registration reads only the header
+prefix (:func:`repro.io.serialize.read_matrix_info`) and, for sharded
+containers, the manifest region — never payload bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.io.serialize import (
+    format_of_info,
+    read_matrix_info,
+    read_shard_manifest,
+    save_matrix,
+)
+from repro.resilience.integrity import (
+    INTEGRITY_FAILED,
+    INTEGRITY_PRESENT,
+    verify_file,
+)
+from repro.store.catalog import Catalog, CatalogEntry, ShardRow
+
+#: The catalog database's filename inside a store root.
+CATALOG_FILENAME = "catalog.sqlite"
+
+
+def is_store(root: Any) -> bool:
+    """Whether ``root`` is (already) a store directory."""
+    return Path(root).joinpath(CATALOG_FILENAME).is_file()
+
+
+class MatrixStore:
+    """A store root: payload directory + catalog, kept in sync.
+
+    Opening an existing store costs one SQLite open (migrations are
+    no-ops once applied); it never touches payload files.  All writes
+    that create or change payload files go through methods here so the
+    catalog row is updated in the same call.
+    """
+
+    def __init__(self, root: Any, create: bool = True):
+        self.root = Path(root)
+        if create:
+            self.root.mkdir(parents=True, exist_ok=True)
+        elif not self.root.is_dir():
+            raise FileNotFoundError(f"store root {self.root} does not exist")
+        self.catalog = Catalog(self.root / CATALOG_FILENAME)
+
+    # -- registration ----------------------------------------------------------------
+
+    def path_of(self, name: str) -> Path:
+        return self.root / f"{name}.gcmx"
+
+    def add(
+        self,
+        name: str,
+        matrix: Any,
+        provenance: dict[str, Any] | None = None,
+    ) -> Path:
+        """Serialize ``matrix`` into the store and catalog it."""
+        path = self.path_of(name)
+        save_matrix(matrix, path)
+        self.register_file(path, name=name, provenance=provenance)
+        return path
+
+    def register_file(
+        self,
+        path: Any,
+        name: str | None = None,
+        provenance: dict[str, Any] | None = None,
+    ) -> CatalogEntry:
+        """Catalog an existing ``.gcmx`` file from its header fields.
+
+        Reads the fixed-size header prefix (and the shard manifest for
+        sharded containers) — O(header), never O(payload).  Shard rows
+        start as :data:`~repro.resilience.integrity.INTEGRITY_PRESENT`;
+        :meth:`verify` upgrades them after hashing the sections.
+        """
+        path = Path(path)
+        info = read_matrix_info(path)
+        name = name if name is not None else path.stem
+        extra = {
+            k: v
+            for k, v in info.items()
+            if k not in ("kind", "shape", "integrity", "file_bytes")
+        }
+        stat = path.stat()
+        entry = CatalogEntry(
+            name=name,
+            path=str(path),
+            kind=str(info["kind"]),
+            format=format_of_info(info),
+            shape=(int(info["shape"][0]), int(info["shape"][1])),
+            file_bytes=int(info["file_bytes"]),
+            integrity=str(info["integrity"]),
+            extra=extra,
+            provenance=dict(provenance or {}),
+            mtime_ns=int(stat.st_mtime_ns),
+        )
+        shards: tuple[ShardRow, ...] = ()
+        if entry.kind == "sharded":
+            _shape, manifest = read_shard_manifest(path)
+            shards = tuple(
+                ShardRow(
+                    index=e.index,
+                    row_start=e.row_start,
+                    n_rows=e.n_rows,
+                    offset=e.offset,
+                    length=e.length,
+                    integrity=INTEGRITY_PRESENT,
+                )
+                for e in manifest
+            )
+        self.catalog.upsert(entry, shards)
+        return entry
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def reindex(self, prune: bool = True) -> dict[str, list[str]]:
+        """Rebuild the catalog from the ``.gcmx`` files on disk.
+
+        Self-healing after out-of-band changes: new files are added,
+        files whose ``(mtime_ns, file_bytes)`` moved are re-registered,
+        deleted files are pruned (``prune=True``), and files whose
+        header no longer parses are dropped from the catalog and
+        reported under ``"corrupt"`` — a corrupt index row must not
+        keep a broken payload servable.
+        """
+        report: dict[str, list[str]] = {
+            "added": [],
+            "refreshed": [],
+            "removed": [],
+            "corrupt": [],
+        }
+        known = {e.name: e for e in self.catalog.entries()}
+        seen = set()
+        for path in sorted(self.root.glob("*.gcmx")):
+            name = path.stem
+            seen.add(name)
+            prior = known.get(name)
+            try:
+                stat = path.stat()
+                if (
+                    prior is not None
+                    and prior.mtime_ns == stat.st_mtime_ns
+                    and prior.file_bytes == stat.st_size
+                    and prior.path == str(path)
+                ):
+                    continue
+                self.register_file(path, name=name)
+            except (SerializationError, OSError):
+                self.catalog.remove(name)
+                report["corrupt"].append(name)
+                continue
+            report["added" if prior is None else "refreshed"].append(name)
+        if prune:
+            for name in known:
+                if name not in seen:
+                    self.catalog.remove(name)
+                    report["removed"].append(name)
+        return report
+
+    def verify(self, deep: bool = True) -> dict[str, str]:
+        """Verify every cataloged file; record outcomes in the catalog.
+
+        Returns ``{name: integrity_state}``.  A CRC mismatch or broken
+        structure records
+        :data:`~repro.resilience.integrity.INTEGRITY_FAILED` instead of
+        raising, so one bad file does not abort the sweep.
+        """
+        results: dict[str, str] = {}
+        for entry in self.catalog.entries():
+            try:
+                report = verify_file(entry.path, deep=deep)
+            except (SerializationError, OSError):
+                self.catalog.set_integrity(entry.name, INTEGRITY_FAILED)
+                results[entry.name] = INTEGRITY_FAILED
+                continue
+            state = str(report["integrity"])
+            shard_states = report.get("shards")
+            self.catalog.set_integrity(
+                entry.name,
+                state,
+                tuple(shard_states) if shard_states is not None else None,
+            )
+            results[entry.name] = state
+        return results
+
+    def record_bench(self, name: str, stats: dict[str, Any]) -> None:
+        """Attach benchmark numbers to a cataloged matrix."""
+        self.catalog.set_bench(name, stats)
+
+    # -- reads -----------------------------------------------------------------------
+
+    def get(self, name: str) -> CatalogEntry | None:
+        return self.catalog.get(name)
+
+    def entries(self) -> list[CatalogEntry]:
+        return self.catalog.entries()
+
+    def names(self) -> list[str]:
+        return self.catalog.names()
+
+    def total_bytes(self) -> int:
+        """Sum of cataloged payload sizes (index-only, no stat calls)."""
+        return sum(e.file_bytes for e in self.catalog.entries())
+
+    def __len__(self) -> int:
+        return self.catalog.count()
+
+    def __repr__(self) -> str:
+        return f"MatrixStore({os.fspath(self.root)!r}, {len(self)} matrices)"

@@ -1,0 +1,130 @@
+"""RA08 — all catalog SQL goes through ``store/catalog.py``."""
+
+from repro.analyze.engine import ALL_RULES
+from repro.analyze.findings import RULE_WAIVER_TAGS
+from repro.analyze.rules_ast import AST_RULES, CATALOG_MODULE, check_catalog_sql
+
+from tests.analyze.conftest import make_source
+
+OUTSIDE_IMPORT = """
+import sqlite3
+
+def peek(path):
+    return sqlite3.connect(path).execute("SELECT 1").fetchone()
+"""
+
+OUTSIDE_FROM_IMPORT = """
+from sqlite3 import connect
+
+def peek(path):
+    return connect(path).execute("SELECT 1").fetchone()
+"""
+
+OUTSIDE_WAIVED = """
+import sqlite3  # ra: sql — read-only diagnostic script
+
+def peek(path):
+    return sqlite3.connect(path).execute("SELECT 1").fetchone()
+"""
+
+CATALOG_CLEAN = """
+import sqlite3
+
+MIGRATIONS = (
+    (1, "CREATE TABLE matrices (name TEXT PRIMARY KEY)"),
+    (2, "ALTER TABLE matrices ADD COLUMN bench TEXT"),
+)
+
+def upsert(conn, name):
+    conn.execute("INSERT INTO matrices (name) VALUES (?)", (name,))
+"""
+
+CATALOG_ADHOC_DDL = """
+import sqlite3
+
+MIGRATIONS = (
+    (1, "CREATE TABLE matrices (name TEXT PRIMARY KEY)"),
+)
+
+def ensure_index(conn):
+    conn.execute("CREATE INDEX by_name ON matrices(name)")
+"""
+
+CATALOG_WAIVED_DDL = """
+import sqlite3
+
+MIGRATIONS = (
+    (1, "CREATE TABLE matrices (name TEXT PRIMARY KEY)"),
+)
+
+def reset(conn):
+    conn.execute("DROP TABLE matrices")  # ra: sql — test-only teardown
+"""
+
+
+def catalog_source(text: str):
+    return make_source(text, rel=f"src/repro/{CATALOG_MODULE}")
+
+
+class TestOutsideCatalog:
+    def test_import_sqlite3_flagged(self):
+        findings = check_catalog_sql(make_source(OUTSIDE_IMPORT))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "RA08"
+        assert f.detail == "import sqlite3"
+        assert CATALOG_MODULE in f.message
+
+    def test_from_import_flagged(self):
+        findings = check_catalog_sql(make_source(OUTSIDE_FROM_IMPORT))
+        assert len(findings) == 1
+        assert findings[0].detail == "from sqlite3 import ..."
+
+    def test_waiver_suppresses(self):
+        assert check_catalog_sql(make_source(OUTSIDE_WAIVED)) == []
+
+    def test_unrelated_imports_clean(self):
+        assert check_catalog_sql(make_source("import json\nimport os\n")) == []
+
+    def test_ddl_strings_outside_catalog_not_this_rules_business(self):
+        # a docs generator mentioning CREATE TABLE in a string is not a
+        # second SQL connection path; only the import is the boundary
+        text = 'BANNER = "how to CREATE TABLE foo"\n'
+        assert check_catalog_sql(make_source(text)) == []
+
+
+class TestInsideCatalog:
+    def test_migrations_and_dml_are_clean(self):
+        assert check_catalog_sql(catalog_source(CATALOG_CLEAN)) == []
+
+    def test_adhoc_ddl_flagged(self):
+        findings = check_catalog_sql(catalog_source(CATALOG_ADHOC_DDL))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "RA08"
+        assert f.detail == "CREATE INDEX"
+        assert "MIGRATIONS" in f.message
+
+    def test_ddl_waiver_suppresses(self):
+        assert check_catalog_sql(catalog_source(CATALOG_WAIVED_DDL)) == []
+
+    def test_sqlite_import_allowed_inside(self):
+        # the catalog module is exactly where sqlite3 lives
+        text = "import sqlite3\nMIGRATIONS = ()\n"
+        assert check_catalog_sql(catalog_source(text)) == []
+
+    def test_ddl_case_insensitive(self):
+        text = (
+            "MIGRATIONS = ()\n"
+            'def f(conn):\n    conn.execute("alter table m add column x")\n'
+        )
+        findings = check_catalog_sql(catalog_source(text))
+        assert len(findings) == 1
+        assert findings[0].detail == "alter table"
+
+
+class TestRegistration:
+    def test_rule_registered_everywhere(self):
+        assert "RA08" in ALL_RULES
+        assert AST_RULES["RA08"] is check_catalog_sql
+        assert RULE_WAIVER_TAGS["RA08"] == "sql"

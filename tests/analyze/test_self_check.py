@@ -42,4 +42,6 @@ class TestSelfCheck:
     def test_scan_covers_the_package(self, repo_cwd):
         report = run_analysis(["src"])
         assert report.files_scanned > 50
-        assert report.rules == ("RA01", "RA02", "RA03", "RA04", "RA05", "RA06", "RA07")
+        assert report.rules == (
+            "RA01", "RA02", "RA03", "RA04", "RA05", "RA06", "RA07", "RA08",
+        )

@@ -1,0 +1,151 @@
+"""Catalog-driven registry opens and the /store endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.gcm import GrammarCompressedMatrix
+from repro.serve.registry import MatrixRegistry
+from repro.serve.server import MatrixServer
+from repro.shard import build_sharded
+from repro.store import MatrixStore
+from tests.conftest import make_structured
+
+
+@pytest.fixture
+def store(tmp_path, rng):
+    """A store with two plain matrices and one 3-shard container."""
+    st = MatrixStore(tmp_path / "mstore")
+    dense = {
+        "alpha": make_structured(rng, n=60, m=10),
+        "beta": make_structured(rng, n=40, m=8),
+        "wide": make_structured(rng, n=90, m=12),
+    }
+    st.add("alpha", GrammarCompressedMatrix.compress(dense["alpha"], variant="re_ans"))
+    st.add("beta", repro.compress(dense["beta"], format="dense"))
+    st.add("wide", build_sharded(dense["wide"], n_shards=3))
+    return st, dense
+
+
+class TestCatalogOpen:
+    def test_open_reads_zero_headers(self, store):
+        st, dense = store
+        registry = MatrixRegistry(store=st, mmap=True)
+        assert sorted(registry.names()) == ["alpha", "beta", "wide"]
+        stats = registry.stats()
+        assert stats["header_reads"] == 0
+        assert stats["catalog_registrations"] == 3
+        assert stats["loads"] == 0
+        assert stats["mmap"] is True
+        assert stats["store"] is True
+
+    def test_store_accepts_root_path(self, store):
+        st, _ = store
+        registry = MatrixRegistry(store=st.root)
+        assert len(registry) == 3
+        assert registry.store is not None
+
+    def test_describe_matches_header_peek(self, store):
+        """A catalog-built info dict is indistinguishable from the
+        header-built one a scan registration would produce."""
+        st, _ = store
+        catalog_driven = MatrixRegistry(store=st)
+        scan_driven = MatrixRegistry(root=st.root)
+        for name in ("alpha", "beta", "wide"):
+            a, b = catalog_driven.describe(name), scan_driven.describe(name)
+            a.pop("resident", None), b.pop("resident", None)
+            assert a == b
+
+    def test_sharded_first_request_uses_catalog_manifest(self, store, rng):
+        st, dense = store
+        registry = MatrixRegistry(store=st, mmap=True)
+        x = rng.standard_normal(dense["wide"].shape[1])
+        assert np.allclose(
+            registry.get("wide").right_multiply(x), dense["wide"] @ x
+        )
+        assert registry.stats()["header_reads"] == 0
+
+    def test_loads_are_correct_under_mmap(self, store, rng):
+        st, dense = store
+        registry = MatrixRegistry(store=st, mmap=True)
+        for name, d in dense.items():
+            x = rng.standard_normal(d.shape[1])
+            assert np.allclose(registry.get(name).right_multiply(x), d @ x)
+
+    def test_scan_registration_counts_header_reads(self, store):
+        st, _ = store
+        registry = MatrixRegistry(root=st.root)
+        assert registry.stats()["header_reads"] == 3
+        assert registry.stats()["catalog_registrations"] == 0
+        assert registry.stats()["store"] is False
+
+    def test_store_info_summary(self, store):
+        st, _ = store
+        registry = MatrixRegistry(store=st)
+        info = registry.store_info()
+        assert info["matrices"] == 3
+        assert info["root"] == str(st.root)
+        assert info["schema_version"] == st.catalog.schema_version()
+        assert info["total_bytes"] == st.total_bytes()
+        assert MatrixRegistry(root=st.root).store_info() is None
+
+
+def _get(url: str):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestStoreEndpoint:
+    def test_store_payload_served(self, store):
+        st, _ = store
+        registry = MatrixRegistry(store=st, mmap=True)
+        with MatrixServer(registry, workers=2, port=0).start() as server:
+            status, body = _get(f"{server.url}/store")
+            assert status == 200
+            assert body["matrices"] == 3
+            assert body["mmap"] is True
+            status, body = _get(f"{server.url}/stats")
+            assert status == 200
+            assert body["store"]["matrices"] == 3
+            assert body["registry"]["catalog_registrations"] == 3
+
+    def test_store_endpoint_404_without_store(self, tmp_path, rng):
+        import repro as _repro
+        from repro.io.serialize import save_matrix
+
+        save_matrix(
+            _repro.compress(make_structured(rng), format="csrv"),
+            tmp_path / "m.gcmx",
+        )
+        registry = MatrixRegistry(root=tmp_path)
+        with MatrixServer(registry, workers=2, port=0).start() as server:
+            status, body = _get(f"{server.url}/store")
+            assert status == 404
+            assert "no store attached" in body["error"]
+            status, body = _get(f"{server.url}/stats")
+            assert body["store"] is None
+
+
+class TestRestart:
+    def test_second_open_costs_no_header_reads(self, store, rng):
+        """The restart scenario the store-smoke CI job enforces."""
+        st, dense = store
+        first = MatrixRegistry(store=st, mmap=True)
+        x = np.ones(dense["wide"].shape[1])
+        first.get("wide").right_multiply(x)
+        assert first.stats()["loads"] == 1
+
+        # "restart": a brand-new registry over the same store
+        second = MatrixRegistry(store=st.root, mmap=True)
+        stats = second.stats()
+        assert stats["loads"] == 0
+        assert stats["header_reads"] == 0
+        assert stats["catalog_registrations"] == 3
+        assert sorted(second.names()) == st.names()

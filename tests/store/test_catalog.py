@@ -1,0 +1,213 @@
+"""Catalog: CRUD, schema migrations, and multi-process WAL writes."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.store.catalog import (
+    MIGRATIONS,
+    SCHEMA_VERSION,
+    Catalog,
+    CatalogEntry,
+    ShardRow,
+)
+
+
+def entry(name: str, **over) -> CatalogEntry:
+    base = dict(
+        name=name,
+        path=f"/store/{name}.gcmx",
+        kind="gcm",
+        format="re_ans",
+        shape=(100, 20),
+        file_bytes=4096,
+        integrity="present",
+        extra={"variant": "re_ans", "n_rules": 7},
+        provenance={"command": "compress"},
+    )
+    base.update(over)
+    return CatalogEntry(**base)
+
+
+@pytest.fixture
+def catalog(tmp_path) -> Catalog:
+    return Catalog(tmp_path / "catalog.sqlite")
+
+
+class TestSchema:
+    def test_fresh_catalog_is_at_latest_version(self, catalog):
+        assert catalog.schema_version() == SCHEMA_VERSION
+
+    def test_migrations_are_append_only_and_ordered(self):
+        versions = [v for v, _ in MIGRATIONS]
+        assert versions == sorted(versions)
+        assert versions == list(range(1, SCHEMA_VERSION + 1))
+
+    def test_migrate_is_idempotent(self, catalog):
+        assert catalog.migrate() == SCHEMA_VERSION
+        assert catalog.migrate() == SCHEMA_VERSION
+
+    def test_reopen_keeps_rows(self, tmp_path):
+        path = tmp_path / "catalog.sqlite"
+        Catalog(path).upsert(entry("alpha"))
+        again = Catalog(path)
+        assert again.names() == ["alpha"]
+        assert again.schema_version() == SCHEMA_VERSION
+
+
+class TestCrud:
+    def test_get_roundtrips_every_field(self, catalog):
+        e = entry("alpha")
+        catalog.upsert(e)
+        got = catalog.get("alpha")
+        assert got is not None
+        assert got.path == e.path
+        assert got.kind == e.kind
+        assert got.format == e.format
+        assert got.shape == e.shape
+        assert got.file_bytes == e.file_bytes
+        assert got.extra == e.extra
+        assert got.provenance == e.provenance
+        assert got.registered_at != ""
+
+    def test_info_reconstructs_header_peek_shape(self, catalog):
+        catalog.upsert(entry("alpha"))
+        info = catalog.get("alpha").info()
+        assert info["kind"] == "gcm"
+        assert info["shape"] == (100, 20)
+        assert info["variant"] == "re_ans"
+        assert info["integrity"] == "present"
+        assert info["file_bytes"] == 4096
+
+    def test_upsert_replaces_in_place(self, catalog):
+        catalog.upsert(entry("alpha"))
+        catalog.upsert(entry("alpha", file_bytes=9999, integrity="verified"))
+        assert catalog.count() == 1
+        got = catalog.get("alpha")
+        assert got.file_bytes == 9999
+        assert got.integrity == "verified"
+
+    def test_missing_name_is_none(self, catalog):
+        assert catalog.get("nope") is None
+        assert catalog.remove("nope") is False
+
+    def test_names_and_entries_sorted(self, catalog):
+        for name in ("gamma", "alpha", "beta"):
+            catalog.upsert(entry(name))
+        assert catalog.names() == ["alpha", "beta", "gamma"]
+        assert [e.name for e in catalog.entries()] == ["alpha", "beta", "gamma"]
+
+    def test_set_integrity_and_bench(self, catalog):
+        catalog.upsert(entry("alpha"))
+        catalog.set_integrity("alpha", "verified")
+        catalog.set_bench("alpha", {"multiply_seconds": 0.01})
+        got = catalog.get("alpha")
+        assert got.integrity == "verified"
+        assert got.bench == {"multiply_seconds": 0.01}
+
+
+class TestShardRows:
+    def shard_rows(self):
+        return tuple(
+            ShardRow(
+                index=i,
+                row_start=i * 50,
+                n_rows=50,
+                offset=64 + i * 1000,
+                length=1000,
+                integrity="present",
+            )
+            for i in range(3)
+        )
+
+    def test_shards_roundtrip_in_index_order(self, catalog):
+        catalog.upsert(entry("sharded", kind="sharded"), self.shard_rows())
+        rows = catalog.shards("sharded")
+        assert [r.index for r in rows] == [0, 1, 2]
+        assert rows[1].manifest_entry().offset == 64 + 1000
+
+    def test_upsert_replaces_shard_rows(self, catalog):
+        catalog.upsert(entry("sharded", kind="sharded"), self.shard_rows())
+        catalog.upsert(entry("sharded", kind="sharded"), self.shard_rows()[:2])
+        assert len(catalog.shards("sharded")) == 2
+
+    def test_remove_cascades_to_shards(self, catalog):
+        catalog.upsert(entry("sharded", kind="sharded"), self.shard_rows())
+        assert catalog.remove("sharded") is True
+        assert catalog.shards("sharded") == []
+
+    def test_shard_integrity_states_update_by_index(self, catalog):
+        catalog.upsert(entry("sharded", kind="sharded"), self.shard_rows())
+        catalog.set_integrity(
+            "sharded", "verified", ("verified", "failed", "verified")
+        )
+        assert [r.integrity for r in catalog.shards("sharded")] == [
+            "verified",
+            "failed",
+            "verified",
+        ]
+
+
+WORKER = """
+import sys
+from repro.store.catalog import Catalog, CatalogEntry
+
+path, worker, n = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+catalog = Catalog(path)
+for i in range(n):
+    catalog.upsert(
+        CatalogEntry(
+            name=f"w{worker}-m{i}",
+            path=f"/store/w{worker}-m{i}.gcmx",
+            kind="gcm",
+            format="re_32",
+            shape=(10, 10),
+            file_bytes=128 + i,
+            integrity="present",
+        )
+    )
+print(len(catalog.names()))
+"""
+
+
+class TestConcurrency:
+    def test_parallel_writers_under_wal(self, tmp_path):
+        """Several processes upsert concurrently; WAL + busy_timeout
+        must serialize them without a single ``database is locked``."""
+        path = tmp_path / "catalog.sqlite"
+        Catalog(path)  # migrate once, before the writers race
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        n_workers, n_rows = 4, 25
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", WORKER, str(path), str(w), str(n_rows)],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            for w in range(n_workers)
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        catalog = Catalog(path)
+        assert catalog.count() == n_workers * n_rows
+        assert catalog.schema_version() == SCHEMA_VERSION
+
+    def test_reader_sees_writer_commits_live(self, tmp_path):
+        """Two Catalog objects over the same file are independent
+        connections; a write through one is visible through the other."""
+        path = tmp_path / "catalog.sqlite"
+        writer, reader = Catalog(path), Catalog(path)
+        writer.upsert(entry("alpha"))
+        assert reader.names() == ["alpha"]
+        writer.remove("alpha")
+        assert reader.names() == []

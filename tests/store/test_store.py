@@ -1,0 +1,169 @@
+"""MatrixStore: registration, verify sync, and self-healing reindex."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.gcm import GrammarCompressedMatrix
+from repro.io.serialize import save_matrix
+from repro.resilience.integrity import (
+    INTEGRITY_FAILED,
+    INTEGRITY_PRESENT,
+    INTEGRITY_VERIFIED,
+)
+from repro.shard import build_sharded
+from repro.store import MatrixStore, is_store
+from tests.conftest import make_structured
+
+
+@pytest.fixture
+def store(tmp_path, rng):
+    """A store with one compressed, one dense, and one sharded matrix."""
+    store = MatrixStore(tmp_path / "mstore")
+    dense = {
+        "alpha": make_structured(rng, n=60, m=10),
+        "beta": make_structured(rng, n=40, m=8),
+        "wide": make_structured(rng, n=90, m=12),
+    }
+    store.add("alpha", GrammarCompressedMatrix.compress(dense["alpha"], variant="re_32"))
+    store.add("beta", repro.compress(dense["beta"], format="dense"))
+    store.add("wide", build_sharded(dense["wide"], n_shards=3))
+    return store, dense
+
+
+class TestRegistration:
+    def test_is_store_detects_catalog(self, store, tmp_path):
+        assert is_store(store[0].root)
+        assert not is_store(tmp_path)
+
+    def test_add_catalogs_header_fields(self, store):
+        st, dense = store
+        entry = st.get("alpha")
+        assert entry.kind == "gcm"
+        assert entry.format == "re_32"
+        assert entry.shape == dense["alpha"].shape
+        assert entry.file_bytes == st.path_of("alpha").stat().st_size
+        assert entry.integrity == INTEGRITY_PRESENT
+
+    def test_sharded_add_catalogs_manifest_rows(self, store):
+        st, _ = store
+        rows = st.catalog.shards("wide")
+        assert len(rows) == 3
+        assert rows[0].row_start == 0
+        # byte placement matches the on-disk manifest exactly
+        from repro.io.serialize import read_shard_manifest
+
+        _, manifest = read_shard_manifest(st.path_of("wide"))
+        assert [(r.offset, r.length) for r in rows] == [
+            (e.offset, e.length) for e in manifest
+        ]
+
+    def test_register_file_defaults_name_to_stem(self, store, rng, tmp_path):
+        st, _ = store
+        extra = tmp_path / "mstore" / "gamma.gcmx"
+        save_matrix(repro.compress(make_structured(rng), format="csrv"), extra)
+        entry = st.register_file(extra)
+        assert entry.name == "gamma"
+        assert "gamma" in st.names()
+
+    def test_provenance_recorded(self, tmp_path, rng):
+        st = MatrixStore(tmp_path / "s")
+        st.add(
+            "m",
+            repro.compress(make_structured(rng), format="csrv"),
+            provenance={"command": "compress", "input": "m.npy"},
+        )
+        assert st.get("m").provenance["command"] == "compress"
+
+    def test_totals(self, store):
+        st, _ = store
+        assert len(st) == 3
+        assert st.names() == ["alpha", "beta", "wide"]
+        assert st.total_bytes() == sum(
+            st.path_of(n).stat().st_size for n in st.names()
+        )
+
+
+class TestVerify:
+    def test_verify_upgrades_states_in_catalog(self, store):
+        st, _ = store
+        results = st.verify(deep=True)
+        assert set(results.values()) == {INTEGRITY_VERIFIED}
+        assert st.get("wide").integrity == INTEGRITY_VERIFIED
+        assert all(
+            r.integrity == INTEGRITY_VERIFIED for r in st.catalog.shards("wide")
+        )
+
+    def test_verify_records_failure_without_aborting(self, store):
+        st, _ = store
+        path = st.path_of("beta")
+        raw = bytearray(path.read_bytes())
+        raw[-2] ^= 0xFF  # flip a bit inside the stored CRC value
+        path.write_bytes(bytes(raw))
+        results = st.verify(deep=True)
+        assert results["beta"] == INTEGRITY_FAILED
+        assert results["alpha"] == INTEGRITY_VERIFIED
+        assert st.get("beta").integrity == INTEGRITY_FAILED
+
+
+class TestReindex:
+    def test_noop_when_nothing_changed(self, store):
+        st, _ = store
+        report = st.reindex()
+        assert report == {
+            "added": [],
+            "refreshed": [],
+            "removed": [],
+            "corrupt": [],
+        }
+
+    def test_out_of_band_add_and_delete(self, store, rng):
+        st, _ = store
+        # simulate another process dropping a file in and removing one
+        save_matrix(
+            repro.compress(make_structured(rng), format="csrv"),
+            st.root / "fresh.gcmx",
+        )
+        st.path_of("beta").unlink()
+        report = st.reindex()
+        assert report["added"] == ["fresh"]
+        assert report["removed"] == ["beta"]
+        assert st.names() == ["alpha", "fresh", "wide"]
+
+    def test_out_of_band_rewrite_is_refreshed(self, store, rng):
+        st, dense = store
+        bigger = np.vstack([dense["beta"], dense["beta"]])
+        save_matrix(repro.compress(bigger, format="dense"), st.path_of("beta"))
+        report = st.reindex()
+        assert report["refreshed"] == ["beta"]
+        assert st.get("beta").shape == bigger.shape
+
+    def test_corrupt_header_is_dropped_from_catalog(self, store):
+        st, _ = store
+        path = st.path_of("alpha")
+        payload = bytearray(path.read_bytes())
+        payload[:4] = b"XXXX"  # destroy the magic: header no longer parses
+        path.write_bytes(bytes(payload))
+        report = st.reindex()
+        assert report["corrupt"] == ["alpha"]
+        assert "alpha" not in st.names()
+
+    def test_rebuild_from_scratch(self, store):
+        st, _ = store
+        (st.root / "catalog.sqlite").unlink()
+        rebuilt = MatrixStore(st.root)
+        report = rebuilt.reindex()
+        assert sorted(report["added"]) == ["alpha", "beta", "wide"]
+        assert rebuilt.names() == ["alpha", "beta", "wide"]
+        assert len(rebuilt.catalog.shards("wide")) == 3
+
+    def test_open_missing_root_without_create(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MatrixStore(tmp_path / "absent", create=False)
+
+
+class TestBench:
+    def test_record_bench_lands_in_row(self, store):
+        st, _ = store
+        st.record_bench("alpha", {"multiply_seconds": 0.002})
+        assert st.get("alpha").bench == {"multiply_seconds": 0.002}

@@ -262,3 +262,130 @@ class TestSolve:
         blob, _ = square_file
         with pytest.raises(SystemExit):
             main(["solve", "frobnicate", str(blob)])
+
+
+class TestStore:
+    @pytest.fixture
+    def store_root(self, dense_file, tmp_path):
+        """A store built entirely through the CLI with --store."""
+        src, matrix = dense_file
+        root = tmp_path / "mstore"
+        root.mkdir()
+        assert (
+            main(
+                [
+                    "compress",
+                    str(src),
+                    str(root / "plain.gcmx"),
+                    "--variant",
+                    "re_32",
+                    "--store",
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "shard",
+                    str(src),
+                    str(root / "wide.gcmx"),
+                    "--shards",
+                    "3",
+                    "--store",
+                ]
+            )
+            == 0
+        )
+        return root, matrix
+
+    def test_compress_store_catalogs_output(self, store_root, capsys):
+        root, _ = store_root
+        from repro.store import MatrixStore
+
+        store = MatrixStore(root, create=False)
+        assert store.names() == ["plain", "wide"]
+        assert store.get("plain").provenance["command"] == "compress"
+        assert len(store.catalog.shards("wide")) == 3
+
+    def test_compress_store_announces_catalog_row(
+        self, dense_file, tmp_path, capsys
+    ):
+        src, _ = dense_file
+        root = tmp_path / "s"
+        root.mkdir()
+        assert (
+            main(["compress", str(src), str(root / "m.gcmx"), "--store"]) == 0
+        )
+        assert "cataloged 'm'" in capsys.readouterr().out
+
+    def test_store_list(self, store_root, capsys):
+        root, _ = store_root
+        capsys.readouterr()
+        assert main(["store", "list", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "plain" in out and "wide" in out
+        assert "sharded" in out
+
+    def test_store_init_and_reindex(self, store_root, capsys):
+        root, _ = store_root
+        (root / "catalog.sqlite").unlink()
+        capsys.readouterr()
+        assert main(["store", "init", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "initialised store" in out
+        assert "added: plain, wide" in out
+        (root / "plain.gcmx").unlink()
+        assert main(["store", "reindex", str(root)]) == 0
+        assert "removed: plain" in capsys.readouterr().out
+
+    def test_store_reindex_reports_corrupt_with_exit_1(self, store_root, capsys):
+        root, _ = store_root
+        path = root / "plain.gcmx"
+        path.write_bytes(b"XXXX" + path.read_bytes()[4:])
+        capsys.readouterr()
+        assert main(["store", "reindex", str(root)]) == 1
+        assert "corrupt: plain" in capsys.readouterr().out
+
+    def test_store_actions_need_catalog(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert main(["store", "list", str(empty)]) == 1
+        assert "repro store init" in capsys.readouterr().err
+
+    def test_verify_syncs_outcomes_into_catalog(self, store_root, capsys):
+        root, _ = store_root
+        capsys.readouterr()
+        assert main(["verify", str(root)]) == 0
+        from repro.store import MatrixStore
+
+        store = MatrixStore(root, create=False)
+        assert store.get("plain").integrity == "verified"
+        assert all(
+            r.integrity == "verified" for r in store.catalog.shards("wide")
+        )
+
+    def test_serve_store_answers_from_catalog(self, store_root, capsys):
+        import json
+        import urllib.request
+
+        root, matrix = store_root
+        from repro.serve.registry import MatrixRegistry
+        from repro.serve.server import MatrixServer
+
+        registry = MatrixRegistry(store=root, mmap=True)
+        with MatrixServer(registry, workers=2, port=0).start() as server:
+            with urllib.request.urlopen(f"{server.url}/stats", timeout=10) as r:
+                stats = json.loads(r.read())
+            assert stats["registry"]["catalog_registrations"] == 2
+            assert stats["registry"]["header_reads"] == 0
+            req = urllib.request.Request(
+                f"{server.url}/multiply",
+                data=json.dumps(
+                    {"matrix": "wide", "vectors": [1.0] * matrix.shape[1]}
+                ).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=10) as r:
+                body = json.loads(r.read())
+            assert np.allclose(body["result"][0], matrix @ np.ones(matrix.shape[1]))
