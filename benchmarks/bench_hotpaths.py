@@ -18,7 +18,13 @@ root):
   decode + plan build + multiply, plan retention on), *warm* (every
   later request: retained plan, no decode, no rebuild), and
   *no-cache* (plan retention off — the pre-retention serving cost,
-  paid on every request).
+  paid on every request);
+- **obs_overhead** — the tracing-off cost of the ``repro.obs``
+  instrumentation on the warm MVM path: the same warm multiply bare
+  vs wrapped in the serve layer's ``span("multiply.kernel", ...)``
+  with no trace active (the no-op-span fast path every untraced
+  request takes).  ``--check-baseline`` fails when the overhead
+  reaches 5 %.
 
 Run as a script::
 
@@ -200,18 +206,63 @@ def bench_cold_start(n_matrices: int, rows: int, cols: int) -> dict:
         shutil.rmtree(tmp, ignore_errors=True)
 
 
-def run(profiles, warm_iters: int, cold_reps: int, cold_start=None) -> dict:
+def bench_obs_overhead(grammar, values, shape, iters: int) -> dict:
+    """Tracing-off instrumentation cost on the warm serve MVM path.
+
+    Measures the warm retained-plan multiply bare vs under the serve
+    layer's ``span("multiply.kernel", ...)`` with **no trace active** —
+    the no-op-span path every untraced request takes.  Samples are
+    interleaved so clock drift hits both sides equally, and the
+    per-side statistic is the **minimum** (the standard choice for a
+    noise-dominated microbenchmark: upward noise never makes code
+    faster, so min-vs-min isolates the instrumentation delta from CPU
+    frequency drift that a median would fold in).
+    """
+    from repro.obs.trace import span
+
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(shape[1])
+    matrix = GrammarCompressedMatrix.from_grammar(grammar, values, shape, "re_ans")
+    matrix.enable_plan_retention(True)
+    matrix.right_multiply(x)  # warm the retained plan
+
+    def bare():
+        return matrix.right_multiply(x)
+
+    def instrumented():
+        with span("multiply.kernel", matrix="bench", op="multiply", k=1):
+            return matrix.right_multiply(x)
+
+    bare_times, inst_times = [], []
+    for _ in range(iters):
+        bare_times.append(_time_once(bare)[0])
+        inst_times.append(_time_once(instrumented)[0])
+    bare_s = min(bare_times)
+    inst_s = min(inst_times)
+    return {
+        "iters": iters,
+        "bare_warm_seconds": bare_s,
+        "instrumented_warm_seconds": inst_s,
+        "overhead_pct": 100.0 * inst_s / bare_s - 100.0,
+    }
+
+
+def run(profiles, warm_iters: int, cold_reps: int, cold_start=None,
+        obs_iters: int = 0) -> dict:
     report = {
         "schema": SCHEMA,
         "command": " ".join(sys.argv),
         "profiles": {},
     }
+    first_grammar = None
     for name, rows in profiles:
         dense = np.asarray(get_dataset(name, n_rows=rows).matrix)
         csrv = CSRVMatrix.from_dense(dense)
         compress, exact_grammar = bench_compress(
             csrv.s, dense.size * 8, csrv.values, csrv.shape
         )
+        if first_grammar is None:
+            first_grammar = (exact_grammar, csrv.values, csrv.shape)
         multiply = bench_multiply(
             exact_grammar, csrv.values, csrv.shape, warm_iters, cold_reps
         )
@@ -252,6 +303,15 @@ def run(profiles, warm_iters: int, cold_reps: int, cold_start=None) -> dict:
             f"{1e3 * cs['copy_load_seconds']:.2f}ms "
             f"(x{cs['mmap_load_speedup']:.0f})"
         )
+    if obs_iters and first_grammar is not None:
+        obs = bench_obs_overhead(*first_grammar, obs_iters)
+        report["obs_overhead"] = obs
+        print(
+            f"obs_overhead ({obs['iters']} interleaved iters): warm "
+            f"{1e6 * obs['bare_warm_seconds']:.1f}us bare vs "
+            f"{1e6 * obs['instrumented_warm_seconds']:.1f}us under a "
+            f"no-op span ({obs['overhead_pct']:+.2f}%)"
+        )
     return report
 
 
@@ -265,6 +325,14 @@ COLD_START_GATED_KEYS = (
 )
 
 COLD_START_FLOOR_SECONDS = 0.05
+
+#: The obs_overhead gate is self-relative (instrumented vs bare in the
+#: *same* run), so it needs no baseline entry.  The absolute floor on
+#: the delta keeps sub-microsecond timer noise from failing a 40us
+#: kernel; a real regression (a span doing work while tracing is off)
+#: costs far more than 5us.
+OBS_OVERHEAD_LIMIT_PCT = 5.0
+OBS_OVERHEAD_FLOOR_SECONDS = 5e-6
 
 
 def check_baseline(report: dict, baseline_path: Path, tolerance: float) -> int:
@@ -301,6 +369,18 @@ def check_baseline(report: dict, baseline_path: Path, tolerance: float) -> int:
                     f"{1e3 * base_cold[key]:.1f}ms, "
                     f"{1e3 * COLD_START_FLOOR_SECONDS:.0f}ms floor)"
                 )
+    obs = report.get("obs_overhead")
+    if obs is not None:
+        delta = obs["instrumented_warm_seconds"] - obs["bare_warm_seconds"]
+        if (
+            obs["overhead_pct"] >= OBS_OVERHEAD_LIMIT_PCT
+            and delta > OBS_OVERHEAD_FLOOR_SECONDS
+        ):
+            failures.append(
+                f"obs_overhead: no-op span costs {obs['overhead_pct']:.2f}% "
+                f"({1e6 * delta:.1f}us) on the warm multiply — limit "
+                f"{OBS_OVERHEAD_LIMIT_PCT:g}%"
+            )
     if failures:
         print("PERF REGRESSION against", baseline_path, file=sys.stderr)
         for f in failures:
@@ -334,11 +414,14 @@ def main(argv=None) -> int:
 
     if args.quick:
         profiles, warm_iters, cold_reps = QUICK_PROFILES, 9, 3
-        cold_start = COLD_START_QUICK
+        cold_start, obs_iters = COLD_START_QUICK, 200
     else:
         profiles, warm_iters, cold_reps = FULL_PROFILES, 21, 3
-        cold_start = COLD_START_FULL
-    report = run(profiles, warm_iters, cold_reps, cold_start=cold_start)
+        cold_start, obs_iters = COLD_START_FULL, 600
+    report = run(
+        profiles, warm_iters, cold_reps,
+        cold_start=cold_start, obs_iters=obs_iters,
+    )
 
     output = args.output
     if output is None and not args.quick:

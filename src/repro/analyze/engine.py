@@ -19,7 +19,9 @@ from repro.analyze.rules_ast import AST_RULES
 from repro.errors import ReproError
 
 #: Every rule id the driver knows, in catalog order.
-ALL_RULES = ("RA01", "RA02", "RA03", "RA04", "RA05", "RA06", "RA07", "RA08")
+ALL_RULES = (
+    "RA01", "RA02", "RA03", "RA04", "RA05", "RA06", "RA07", "RA08", "RA09",
+)
 
 _REGISTRY_RULES = ("RA01", "RA02")
 

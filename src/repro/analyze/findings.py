@@ -25,6 +25,7 @@ out        RA05   a kernel that knowingly breaks the ``out=`` contract
 executor   RA06   a multiply entry point without executor plumbing
 retry      RA07   a retry handler that deliberately drops a typed error
 sql        RA08   a SQLite touchpoint outside the store catalog
+obs        RA09   a counter-style increment kept off the metrics registry
 =========  =====  ==========================================
 """
 
@@ -42,6 +43,7 @@ RULE_WAIVER_TAGS = {
     "RA06": "executor",
     "RA07": "retry",
     "RA08": "sql",
+    "RA09": "obs",
 }
 
 _WAIVER_RE = re.compile(

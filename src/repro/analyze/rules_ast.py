@@ -750,6 +750,75 @@ def check_catalog_sql(source) -> list[Finding]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# RA09 — counter discipline
+# ---------------------------------------------------------------------------
+
+
+#: Path fragments inside which RA09 applies: the instrumented layers
+#: whose counters must be :mod:`repro.obs` instruments.
+COUNTER_DISCIPLINE_DIRS = ("serve/", "shard/", "resilience/")
+
+
+def check_counter_discipline(source) -> list[Finding]:
+    """RA09: serve/shard/resilience counters go through ``repro.obs``.
+
+    A bare ``self.<name> += <number>`` on a *public* attribute in the
+    instrumented layers is an ad-hoc counter: invisible to ``GET
+    /metrics``, racy unless the class happens to lock around it, and a
+    second bookkeeping scheme next to the
+    :class:`repro.obs.metrics.MetricsRegistry` every other counter
+    feeds.  Use a :class:`~repro.obs.metrics.Counter` (exposed through
+    a read-only ``int`` property when the old attribute name is public
+    API).  Underscore-prefixed attributes are exempt — private
+    accumulators the registry-level collectors aggregate (absorbed
+    shard counts) are a documented pattern — as is :mod:`repro.obs`
+    itself, whose instruments are the primitives.  Waive deliberate
+    exceptions with ``# ra: obs — <reason>``.
+    """
+    tag = RULE_WAIVER_TAGS["RA09"]
+    rel_posix = source.rel.replace("\\", "/")
+    if "obs/" in rel_posix:
+        return []
+    if not any(frag in rel_posix for frag in COUNTER_DISCIPLINE_DIRS):
+        return []
+    findings: list[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.AugAssign):
+            continue
+        if not isinstance(node.op, ast.Add):
+            continue
+        if not _is_self_attr(node.target):
+            continue
+        attr = node.target.attr  # type: ignore[union-attr]
+        if attr.startswith("_"):
+            continue
+        if not (
+            isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, (int, float))
+            and not isinstance(node.value.value, bool)
+        ):
+            continue
+        if source.waivers.covers(node.lineno, tag):
+            continue
+        findings.append(
+            Finding(
+                rule="RA09",
+                path=source.rel,
+                line=node.lineno,
+                scope=_enclosing_scope(source.tree, node),
+                detail=attr,
+                message=(
+                    f"counter-style increment of self.{attr} outside "
+                    "repro.obs; use a repro.obs.metrics.Counter (keep the "
+                    "public name as a read-only property) so /metrics "
+                    "sees it, or waive with `# ra: obs — <reason>`"
+                ),
+            )
+        )
+    return findings
+
+
 #: Rule id → (callable, one-line summary).  The engine dispatches from
 #: this table; docs and ``--select`` validation derive from it too.
 AST_RULES = {
@@ -759,4 +828,5 @@ AST_RULES = {
     "RA06": check_executor_plumbing,
     "RA07": check_retry_discipline,
     "RA08": check_catalog_sql,
+    "RA09": check_counter_discipline,
 }

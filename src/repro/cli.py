@@ -40,7 +40,9 @@ Commands
     :mod:`repro.serve.server`).  ``--job-workers N`` sets how many
     asynchronous solver jobs run concurrently;
     ``--request-deadline-ms`` puts a latency budget on every request
-    (expiry answers 504 with ``Retry-After``).
+    (expiry answers 504 with ``Retry-After``); ``/metrics`` and
+    ``/trace/<id>`` expose the observability layer (:mod:`repro.obs`),
+    with ``--trace-log PATH`` appending every trace as JSONL.
 ``verify PATH``
     Check the CRC32 checksum footers of one ``.gcmx`` file or every
     ``.gcmx`` file under a directory (sharded containers are verified
@@ -577,6 +579,7 @@ def _cmd_serve(args) -> int:
             port=args.port,
             job_workers=args.job_workers,
             request_deadline_ms=args.request_deadline_ms,
+            trace_log=args.trace_log,
         )
     except OSError as exc:
         print(
@@ -776,6 +779,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--request-deadline-ms", type=int, default=None,
         help="latency budget per request in milliseconds; expiry "
         "answers 504 with a Retry-After header (default: none)",
+    )
+    p.add_argument(
+        "--trace-log", default=None, metavar="PATH",
+        help="append every recorded request/job trace to PATH as JSON "
+        "lines, beyond the bounded in-memory /trace ring",
     )
     p.add_argument(
         "--store", action="store_true",

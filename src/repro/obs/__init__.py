@@ -1,0 +1,66 @@
+"""Unified observability: metrics families, request traces, exporters.
+
+The serving stack grew its telemetry organically — ad-hoc integer
+counters merged into ``/stats``, a latency ring per matrix, per-solve
+traces — with no single sink a scraper can consume and no way to follow
+*one request* across the registry → shard → breaker → solver seams.
+This package is that layer:
+
+:mod:`repro.obs.metrics`
+    A thread-safe :class:`~repro.obs.metrics.MetricsRegistry` of
+    labeled :class:`~repro.obs.metrics.Counter` /
+    :class:`~repro.obs.metrics.Gauge` /
+    :class:`~repro.obs.metrics.Histogram` families.  Every counter the
+    serving stack used to hand-roll now lives here; the legacy
+    attribute names survive as read-only properties so the ``/stats``
+    JSON shape is unchanged.
+
+:mod:`repro.obs.trace`
+    Request-scoped spans with parent/child structure and timed events,
+    propagated through a thread-local :func:`~repro.obs.trace.trace_scope`
+    (mirroring :func:`repro.resilience.policy.deadline_scope`), carried
+    across :class:`~repro.serve.executor.BlockExecutor` pools and into
+    :class:`~repro.serve.jobs.JobManager` workers.
+
+:mod:`repro.obs.export`
+    ``GET /metrics`` Prometheus text exposition and the
+    ``GET /trace/<id>`` payloads over a bounded ring of recent traces.
+
+Everything is stdlib-only and import-light so any layer of the package
+can instrument itself without dependency cycles.
+"""
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Trace,
+    TraceContext,
+    TraceStore,
+    activate_context,
+    add_event,
+    capture_context,
+    current_span,
+    current_trace,
+    span,
+    trace_scope,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "TraceContext",
+    "TraceStore",
+    "activate_context",
+    "add_event",
+    "capture_context",
+    "current_span",
+    "current_trace",
+    "render_prometheus",
+    "span",
+    "trace_scope",
+]

@@ -1,0 +1,68 @@
+"""Prometheus text exposition over a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+:func:`render_prometheus` produces the version-0.0.4 text format a
+Prometheus scraper consumes from ``GET /metrics``: per family one
+``# HELP`` line, one ``# TYPE`` line, then every sample row with its
+escaped label set.  Histograms expand to their cumulative ``_bucket``
+series plus ``_sum`` / ``_count``; counter sample names carry the
+family name as-is (families are registered with their ``_total``
+suffix already, following the convention that the *metric name* in the
+exposition is what clients query).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+
+#: The exposition content type ``GET /metrics`` answers with.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    ]
+    return "{" + ",".join(parts) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The full scrape body for every family in ``registry``.
+
+    Collectors run first (inside :meth:`MetricsRegistry.families`), so
+    collector-fed aggregates are fresh as of this scrape.
+    """
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.metric_type}")
+        for suffix, labels, value in family.collect():
+            lines.append(
+                f"{family.name}{suffix}{_render_labels(labels)} "
+                f"{_format_value(value)}"
+            )
+    return "\n".join(lines) + "\n"

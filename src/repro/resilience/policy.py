@@ -379,7 +379,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         with self._lock:
-            self.total_successes += 1
+            self.total_successes += 1  # ra: obs — per-instance tally; the registry collector aggregates breakers into repro_breaker_opens_total
             self._failures = 0
             if self._state == STATE_HALF_OPEN:
                 self._state = STATE_CLOSED
@@ -387,7 +387,7 @@ class CircuitBreaker:
 
     def record_failure(self) -> None:
         with self._lock:
-            self.total_failures += 1
+            self.total_failures += 1  # ra: obs — per-instance tally feeding stats(); aggregated at scrape time, not at this seam
             self._failures += 1
             if self._state == STATE_HALF_OPEN or (
                 self._state == STATE_CLOSED
@@ -396,7 +396,7 @@ class CircuitBreaker:
                 self._state = STATE_OPEN
                 self._opened_at = self._clock()
                 self._probes = 0
-                self.opens += 1
+                self.opens += 1  # ra: obs — per-instance tally; registry sums opens across entry and shard breakers each scrape
 
     def reset(self) -> None:
         """Force-close (admin/testing hook)."""

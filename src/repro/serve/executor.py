@@ -37,12 +37,25 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 import numpy as np
 
 from repro.errors import MatrixFormatError
+from repro.obs.trace import TraceContext, activate_context, capture_context
 
 #: Pool kinds accepted by :class:`BlockExecutor`.
 POOL_KINDS = ("thread", "process")
 
 
 # -- module-level workers (picklable, so process pools can run them) ------------------
+
+
+def _call_in_context(ctx: TraceContext | None, fn, *args):
+    """Run ``fn`` under a carried trace context (the executor-hop shim).
+
+    Module-level so process pools can pickle it; ``ctx`` pickles by
+    dropping its live trace reference, which is what downgrades
+    process-pool workers to a degraded root trace carrying the parent
+    trace id (thread pools keep the reference and attach directly).
+    """
+    with activate_context(ctx):
+        return fn(*args)
 
 
 def _right_one(block, x: np.ndarray) -> np.ndarray:
@@ -166,7 +179,11 @@ class BlockExecutor:
         if self._workers == 1 or len(blocks) <= 1:
             return [fn(b, i) for i, b in enumerate(blocks)]
         pool = self._get_pool()
-        futures = [pool.submit(fn, b, i) for i, b in enumerate(blocks)]
+        ctx = capture_context()
+        futures = [
+            pool.submit(_call_in_context, ctx, fn, b, i)
+            for i, b in enumerate(blocks)
+        ]
         return [f.result() for f in futures]
 
     def timed_map_blocks(self, fn, blocks) -> tuple[list, list[float], float]:
@@ -183,8 +200,10 @@ class BlockExecutor:
             pairs = [_timed_call(fn, b, i) for i, b in enumerate(blocks)]
         else:
             pool = self._get_pool()
+            ctx = capture_context()
             futures = [
-                pool.submit(_timed_call, fn, b, i) for i, b in enumerate(blocks)
+                pool.submit(_call_in_context, ctx, _timed_call, fn, b, i)
+                for i, b in enumerate(blocks)
             ]
             pairs = [f.result() for f in futures]
         wall = time.perf_counter() - start
@@ -197,7 +216,11 @@ class BlockExecutor:
         if self._workers == 1 or len(argument_lists) <= 1:
             return [fn(*args) for args in argument_lists]
         pool = self._get_pool()
-        futures = [pool.submit(fn, *args) for args in argument_lists]
+        ctx = capture_context()
+        futures = [
+            pool.submit(_call_in_context, ctx, fn, *args)
+            for args in argument_lists
+        ]
         return [f.result() for f in futures]
 
     # -- blocked-matrix multiplication --------------------------------------------

@@ -47,6 +47,8 @@ from time import perf_counter, time
 from typing import Any
 
 from repro.errors import ReproError, SerializationError, SolveError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace, TraceStore, new_trace_id, span, trace_scope
 from repro.resilience import faults as _faults
 from repro.resilience.policy import Deadline, deadline_scope
 
@@ -70,12 +72,17 @@ class Job:
         matrix: str,
         params: dict,
         deadline_ms: int | None = None,
+        trace_id: str | None = None,
     ) -> None:
         self.id = job_id
         self.algorithm = algorithm
         self.matrix = matrix
         self.params = params
         self.deadline_ms = deadline_ms
+        #: The id of the trace the background run records under —
+        #: minted at submission so the ``202`` response already carries
+        #: it and the client can fetch ``/trace/<id>`` once done.
+        self.trace_id = trace_id or new_trace_id()
         self.status = "queued"
         self.submitted_at = time()
         self.started_at: float | None = None
@@ -96,6 +103,7 @@ class Job:
             "matrix": self.matrix,
             "params": self.params,
             "status": self.status,
+            "trace_id": self.trace_id,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -142,6 +150,8 @@ class JobManager:
         max_jobs: int = DEFAULT_MAX_JOBS,
         watchdog_interval: float = 1.0,
         join_timeout: float = 5.0,
+        metrics: MetricsRegistry | None = None,
+        traces: TraceStore | None = None,
     ) -> None:
         if workers < 1:
             raise ReproError(f"job workers must be >= 1, got {workers}")
@@ -164,12 +174,54 @@ class JobManager:
         self._watchdog_thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._closed = False
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.workers_restarted = 0
-        self.jobs_orphaned = 0
-        self.leaked_workers = 0
+        #: finished background runs record their trace here (the
+        #: server passes its ``/trace/<id>`` store).
+        self.traces = traces
+        if metrics is None:
+            metrics = MetricsRegistry()  # standalone manager: private sink
+        events = metrics.counter(
+            "repro_job_events_total",
+            "Job lifecycle events by kind (submitted/completed/failed/"
+            "orphaned) plus pool repairs (worker_restarted/worker_leaked).",
+            labels=("event",),
+        )
+        self._c_submitted = events.labels(event="submitted")
+        self._c_completed = events.labels(event="completed")
+        self._c_failed = events.labels(event="failed")
+        self._c_orphaned = events.labels(event="orphaned")
+        self._c_restarted = events.labels(event="worker_restarted")
+        self._c_leaked = events.labels(event="worker_leaked")
+        self._h_job_seconds = metrics.histogram(
+            "repro_job_seconds",
+            "Wall time of finished background jobs in seconds.",
+            buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0),
+        )
+
+    # -- legacy counter attributes (the /stats vocabulary) -------------------------
+
+    @property
+    def submitted(self) -> int:
+        return int(self._c_submitted.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._c_completed.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._c_failed.value)
+
+    @property
+    def workers_restarted(self) -> int:
+        return int(self._c_restarted.value)
+
+    @property
+    def jobs_orphaned(self) -> int:
+        return int(self._c_orphaned.value)
+
+    @property
+    def leaked_workers(self) -> int:
+        return int(self._c_leaked.value)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -214,8 +266,7 @@ class JobManager:
         for thread in threads:
             thread.join(timeout=self.join_timeout)
             if thread.is_alive():
-                with self._lock:
-                    self.leaked_workers += 1
+                self._c_leaked.inc()
                 _LOG.warning(
                     "job worker %s failed to stop within %.1fs and was "
                     "leaked", thread.name, self.join_timeout,
@@ -249,14 +300,14 @@ class JobManager:
                     if orphan.started_at is not None:
                         orphan.seconds = orphan.finished_at - orphan.started_at
                     orphan.status = "failed"
-                    self.failed += 1
-                    self.jobs_orphaned += 1
+                    self._c_failed.inc()
+                    self._c_orphaned.inc()
                     _LOG.warning(
                         "worker %s died mid-job; failed orphaned job %s",
                         thread.name, orphan.id,
                     )
                 self._spawn_worker_locked()
-                self.workers_restarted += 1
+                self._c_restarted.inc()
 
     # -- submission and lookup ------------------------------------------------------
 
@@ -313,7 +364,7 @@ class JobManager:
                 deadline_ms=deadline_ms,
             )
             self._jobs[job.id] = job
-            self.submitted += 1
+            self._c_submitted.inc()
             self._trim()
             self._ensure_workers_locked()
             # Enqueued under the same lock as the closed check: a job
@@ -380,8 +431,14 @@ class JobManager:
             if job.deadline_ms is not None
             else None
         )
+        # The worker runs under the trace id minted at submission, so
+        # ``GET /trace/<id>`` (from the 202 payload) shows the whole
+        # background run: registry load, shard streams, solver spans.
+        trace = Trace(name=f"job {job.algorithm}", trace_id=job.trace_id)
+        trace.root.set("job_id", job.id)
+        trace.root.set("matrix", job.matrix)
         try:
-            with deadline_scope(deadline):
+            with trace_scope(trace), deadline_scope(deadline):
                 matrix = self.registry.get(job.matrix)
                 # Follow the registry's plan-retention setting: a server
                 # started with --no-plan-cache must not have jobs silently
@@ -391,12 +448,15 @@ class JobManager:
                     "retain_plans": getattr(self.registry, "retain_plans", True),
                     **job.params,
                 }
-                result = solve(
-                    matrix,
-                    algorithm=job.algorithm,
-                    executor=self.executor,
-                    **run_params,
-                )
+                with span(
+                    "job.solve", algorithm=job.algorithm, matrix=job.matrix
+                ):
+                    result = solve(
+                        matrix,
+                        algorithm=job.algorithm,
+                        executor=self.executor,
+                        **run_params,
+                    )
                 payload = result.to_payload()
         except Exception as exc:  # noqa: BLE001 — a job must not kill its worker
             # TypeError covers unknown algorithm kwargs in params — a
@@ -404,22 +464,25 @@ class JobManager:
             # recorded the same way so the job never polls as
             # "running" forever over a dead thread.
             error = f"{type(exc).__name__}: {exc}"
+            trace.root.set("error", error)
         with self._lock:
             self._active.pop(thread_name, None)
         # ``status`` is the publication point pollers key off, so every
         # other field is in place before it flips to a terminal state.
         job.seconds = perf_counter() - start
         job.finished_at = time()
+        self._h_job_seconds.observe(job.seconds)
+        if self.traces is not None:
+            trace.root.set("status", "done" if error is None else "failed")
+            self.traces.record(trace)
         if error is None:
             job.result = payload
             job.status = "done"
-            with self._lock:
-                self.completed += 1
+            self._c_completed.inc()
         else:
             job.error = error
             job.status = "failed"
-            with self._lock:
-                self.failed += 1
+            self._c_failed.inc()
         # Solver iterations may have streamed shards in past the
         # budget (like /multiply); re-apply it now.
         try:

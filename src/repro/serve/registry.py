@@ -44,6 +44,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any
 
 from repro.errors import DeadlineExceededError, ReproError, SerializationError
@@ -53,6 +54,8 @@ from repro.io.serialize import (
     load_matrix,
     read_matrix_info,
 )
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import add_event, span
 from repro.resilience.policy import (
     STATE_CLOSED,
     STATE_OPEN,
@@ -149,6 +152,7 @@ class MatrixRegistry:
         breaker_reset: float = 30.0,
         store: Any = None,
         mmap: bool = False,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if byte_budget is not None and byte_budget < 1:
             raise ReproError(f"byte_budget must be >= 1, got {byte_budget}")
@@ -165,27 +169,155 @@ class MatrixRegistry:
         self._entries: OrderedDict[str, RegistryEntry] = OrderedDict()
         self._mmap = bool(mmap)
         self._store: Any = None
-        self.hits = 0
-        self.misses = 0
-        self.loads = 0
-        self.evictions = 0
-        self.load_retries = 0
-        self.load_failures = 0
+        #: the single sink for every counter this registry keeps; the
+        #: server adopts it so ``/metrics`` scrapes one registry.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        lookups = self.metrics.counter(
+            "repro_registry_lookups_total",
+            "Registry lookups by result (hit = already resident).",
+            labels=("result",),
+        )
+        self._c_hits = lookups.labels(result="hit")
+        self._c_misses = lookups.labels(result="miss")
+        self._c_loads = self.metrics.counter(
+            "repro_registry_loads_total", "Matrices deserialized from disk."
+        )
+        self._c_evictions = self.metrics.counter(
+            "repro_registry_evictions_total",
+            "Whole-matrix evictions (explicit or over-budget).",
+        )
+        self._c_load_retries = self.metrics.counter(
+            "repro_registry_load_retries_total",
+            "Transient load failures retried under the retry policy.",
+        )
+        self._c_load_failures = self.metrics.counter(
+            "repro_registry_load_failures_total",
+            "Matrix loads that exhausted retries and failed.",
+        )
         #: header prefixes parsed by :meth:`register` — the cost a
         #: catalog-driven cold start avoids (store-smoke asserts 0).
-        self.header_reads = 0
+        self._c_header_reads = self.metrics.counter(
+            "repro_registry_header_reads_total",
+            "File headers parsed at registration time.",
+        )
         #: entries built purely from catalog rows (no file IO at all).
-        self.catalog_registrations = 0
+        self._c_catalog_registrations = self.metrics.counter(
+            "repro_registry_catalog_registrations_total",
+            "Registrations served from the store catalog with zero file IO.",
+        )
+        self._h_load_seconds = self.metrics.histogram(
+            "repro_registry_load_seconds",
+            "Wall time of whole-matrix cold loads in seconds.",
+        )
         # Shard counters of lazy sharded matrices that were since
         # whole-evicted — folded in here so /stats never goes backwards.
         self._shard_loads_absorbed = 0
         self._shard_evictions_absorbed = 0
         self._shard_retries_absorbed = 0
         self._shard_failures_absorbed = 0
+        self.metrics.register_collector(self._collect_metrics)
         if root is not None:
             self.scan(root)
         if store is not None:
             self.register_store(store)
+
+    # -- legacy counter attributes (the /stats vocabulary) -------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value)
+
+    @property
+    def loads(self) -> int:
+        return int(self._c_loads.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._c_evictions.value)
+
+    @property
+    def load_retries(self) -> int:
+        return int(self._c_load_retries.value)
+
+    @property
+    def load_failures(self) -> int:
+        return int(self._c_load_failures.value)
+
+    @property
+    def header_reads(self) -> int:
+        return int(self._c_header_reads.value)
+
+    @property
+    def catalog_registrations(self) -> int:
+        return int(self._c_catalog_registrations.value)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time collector: residency gauges, shard/breaker
+        aggregates (absorbed + live, so the totals never go backwards),
+        and the global plan cache's counters."""
+        stats = self.stats()
+        m = self.metrics
+        m.gauge(
+            "repro_registry_matrices", "Registered matrices."
+        ).set(stats["matrices"])
+        m.gauge(
+            "repro_registry_resident", "Currently resident matrices."
+        ).set(stats["resident"])
+        m.gauge(
+            "repro_registry_resident_bytes",
+            "Estimated live bytes of resident matrices.",
+        ).set(stats["resident_bytes"])
+        m.gauge(
+            "repro_registry_resident_shards",
+            "Loaded shards across resident lazy sharded matrices.",
+        ).set(stats["resident_shards"])
+        m.gauge(
+            "repro_registry_quarantined",
+            "Entries failing fast behind an open breaker.",
+        ).set(stats["quarantined"])
+        m.gauge(
+            "repro_registry_degraded",
+            "Entries with recent failures or open shard breakers.",
+        ).set(stats["degraded"])
+        m.counter(
+            "repro_shard_loads_total",
+            "Shard payloads streamed in (absorbed + live).",
+        ).set_total(stats["shard_loads"])
+        m.counter(
+            "repro_shard_evictions_total",
+            "Shards evicted back to disk (absorbed + live).",
+        ).set_total(stats["shard_evictions"])
+        m.counter(
+            "repro_shard_retries_total",
+            "Transient shard-load failures retried (absorbed + live).",
+        ).set_total(stats["shard_retries"])
+        m.counter(
+            "repro_shard_failures_total",
+            "Shard loads that exhausted retries (absorbed + live).",
+        ).set_total(stats["shard_failures"])
+        m.counter(
+            "repro_breaker_opens_total",
+            "Circuit breaker open transitions across entries and shards.",
+        ).set_total(stats["breaker_opens"])
+        from repro.core.gcm import plan_cache
+
+        plans = plan_cache().stats()
+        m.counter(
+            "repro_plan_cache_hits_total", "MVM plan cache hits."
+        ).set_total(plans["hits"])
+        m.counter(
+            "repro_plan_cache_misses_total", "MVM plan cache misses."
+        ).set_total(plans["misses"])
+        m.gauge(
+            "repro_plan_cache_plans", "MVM plans currently cached."
+        ).set(plans["plans"])
+        m.gauge(
+            "repro_plan_cache_bytes", "Bytes held by cached MVM plans."
+        ).set(plans["bytes"])
 
     # -- registration ------------------------------------------------------------
 
@@ -198,7 +330,7 @@ class MatrixRegistry:
         path = Path(path)
         info = read_matrix_info(path)
         with self._lock:
-            self.header_reads += 1
+            self._c_header_reads.inc()
             entry = RegistryEntry(
                 name=name,
                 path=path,
@@ -247,7 +379,7 @@ class MatrixRegistry:
             [s.manifest_entry() for s in shards] if shards else None
         )
         with self._lock:
-            self.catalog_registrations += 1
+            self._c_catalog_registrations.inc()
             entry = RegistryEntry(
                 name=record.name,
                 path=Path(record.path),
@@ -394,76 +526,93 @@ class MatrixRegistry:
         ``Retry-After``) until the breaker half-opens.  Other entries
         are unaffected: a corrupt file never takes the registry down.
         """
-        with self._lock:
-            entry = self._require(name)
-            self._entries.move_to_end(name)
-            if entry.matrix is not None:
-                self.hits += 1
-                return entry.matrix
-        with entry.load_lock:
+        with span("registry.get", matrix=name) as sp:
             with self._lock:
-                if entry.matrix is not None:  # a concurrent load won
-                    self.hits += 1
+                entry = self._require(name)
+                self._entries.move_to_end(name)
+                if entry.matrix is not None:
+                    self._c_hits.inc()
+                    sp.set("hit", True)
                     return entry.matrix
-                self.misses += 1
-            breaker = entry.breaker
-            if breaker is not None:
-                breaker.allow()  # CircuitOpenError when quarantined
-
-            def _count_retry(_attempt: int, _exc: BaseException) -> None:
+            with entry.load_lock:
                 with self._lock:
-                    self.load_retries += 1
-
-            try:
-                matrix = self._retry.run(
-                    lambda: self._load_entry(entry),
-                    retry_on=(OSError,),
-                    no_retry=(DeadlineExceededError,),
-                    on_retry=_count_retry,
-                    label=f"load of matrix {name!r}",
-                )
-                if self._retain_plans:
-                    # Served matrices multiply repeatedly: switch formats
-                    # that rebuild their multiplication schedule per call
-                    # into build-once retention *before* estimating
-                    # residency, so the budget charge includes the plan.
-                    matrix.enable_plan_retention(True)
-            except DeadlineExceededError:
-                # The request ran out of budget — says nothing about
-                # the entry's health, so the breaker stays untouched.
-                raise
-            except (ReproError, OSError):
+                    if entry.matrix is not None:  # a concurrent load won
+                        self._c_hits.inc()
+                        sp.set("hit", True)
+                        return entry.matrix
+                    self._c_misses.inc()
+                    sp.set("hit", False)
+                breaker = entry.breaker
                 if breaker is not None:
-                    breaker.record_failure()
+                    breaker.allow()  # CircuitOpenError when quarantined
+
+                def _count_retry(attempt: int, exc: BaseException) -> None:
+                    self._c_load_retries.inc()
+                    add_event(
+                        "load.retry",
+                        attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+
+                load_started = perf_counter()
+                try:
+                    matrix = self._retry.run(
+                        lambda: self._load_entry(entry),
+                        retry_on=(OSError,),
+                        no_retry=(DeadlineExceededError,),
+                        on_retry=_count_retry,
+                        label=f"load of matrix {name!r}",
+                    )
+                    if self._retain_plans:
+                        # Served matrices multiply repeatedly: switch formats
+                        # that rebuild their multiplication schedule per call
+                        # into build-once retention *before* estimating
+                        # residency, so the budget charge includes the plan.
+                        matrix.enable_plan_retention(True)
+                except DeadlineExceededError:
+                    # The request ran out of budget — says nothing about
+                    # the entry's health, so the breaker stays untouched.
+                    raise
+                except (ReproError, OSError):
+                    if breaker is not None:
+                        breaker.record_failure()
+                    self._c_load_failures.inc()
+                    raise
+                if breaker is not None:
+                    breaker.record_success()
+                self._h_load_seconds.observe(perf_counter() - load_started)
                 with self._lock:
-                    self.load_failures += 1
-                raise
-            if breaker is not None:
-                breaker.record_success()
-            with self._lock:
-                entry.matrix = matrix
-                entry.resident_bytes = resident_estimate(matrix)
-                self.loads += 1
-                self._evict_over_budget(keep=name)
-            return matrix
+                    entry.matrix = matrix
+                    entry.resident_bytes = resident_estimate(matrix)
+                    self._c_loads.inc()
+                    self._evict_over_budget(keep=name)
+                return matrix
 
     def _load_entry(self, entry: RegistryEntry) -> Any:
         """Deserialize one entry — lazily for sharded containers."""
-        if self._lazy_shards and entry.info.get("kind") == "sharded":
-            from repro.shard.matrix import LazyShardedMatrix
+        lazy = self._lazy_shards and entry.info.get("kind") == "sharded"
+        with span(
+            "registry.load",
+            matrix=entry.name,
+            kind=str(entry.info.get("kind", "single")),
+            lazy=lazy,
+            mmap=self._mmap,
+        ):
+            if lazy:
+                from repro.shard.matrix import LazyShardedMatrix
 
-            shape = entry.info.get("shape")
-            return LazyShardedMatrix(
-                entry.path,
-                shard_byte_budget=self._budget,
-                retry_policy=self._retry,
-                breaker_threshold=self._breaker_threshold,
-                breaker_reset=self._breaker_reset,
-                manifest=entry.manifest,
-                shape=tuple(shape) if shape is not None else None,
-                mmap=self._mmap,
-            )
-        return load_matrix(entry.path, mmap=self._mmap)
+                shape = entry.info.get("shape")
+                return LazyShardedMatrix(
+                    entry.path,
+                    shard_byte_budget=self._budget,
+                    retry_policy=self._retry,
+                    breaker_threshold=self._breaker_threshold,
+                    breaker_reset=self._breaker_reset,
+                    manifest=entry.manifest,
+                    shape=tuple(shape) if shape is not None else None,
+                    mmap=self._mmap,
+                )
+            return load_matrix(entry.path, mmap=self._mmap)
 
     def _refresh_residency(self, entry: RegistryEntry) -> None:
         """Re-poll entries whose footprint moves between requests
@@ -492,7 +641,7 @@ class MatrixRegistry:
             _release_plans(entry.matrix)
             entry.matrix = None
             entry.resident_bytes = 0
-            self.evictions += 1
+            self._c_evictions.inc()
             return True
 
     def enforce_budget(self, keep: str | None = None) -> int:
@@ -533,7 +682,7 @@ class MatrixRegistry:
             _release_plans(victim.matrix)
             victim.matrix = None
             victim.resident_bytes = 0
-            self.evictions += 1
+            self._c_evictions.inc()
 
     # -- accounting -------------------------------------------------------------------
 

@@ -39,6 +39,18 @@ is ``http.server`` + ``json``):
     :class:`repro.store.MatrixStore` (``repro serve --store``): root,
     schema version, row count, total payload bytes, mmap mode.  ``404``
     when serving a plain directory.
+``GET /metrics``
+    Prometheus text exposition of every metric family on the server's
+    :class:`~repro.obs.metrics.MetricsRegistry` — the same counters
+    ``/stats`` reports as JSON, plus latency histograms and HTTP
+    response counts (:mod:`repro.obs`).
+``GET /trace/<id>``
+    Span tree of one recently traced request or job.  ``POST
+    /multiply`` and ``POST /jobs`` run under a request trace and echo
+    its id in the ``X-Repro-Trace-Id`` response header; job payloads
+    carry the background run's ``trace_id``.  Traces are retained in a
+    bounded ring (older ones answer 404) and optionally appended as
+    JSONL to ``repro serve --trace-log``.
 ``GET /healthz``
     Liveness probe.
 
@@ -63,6 +75,7 @@ import logging
 import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from time import perf_counter
 
 import numpy as np
@@ -77,6 +90,10 @@ from repro.errors import (
     ShardUnavailableError,
     SolveError,
 )
+from repro.obs.export import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import Counter
+from repro.obs.trace import Trace, TraceStore, span, trace_scope
 from repro.resilience.policy import Deadline, deadline_scope
 from repro.serve.batch import batch_left_multiply, batch_right_multiply
 from repro.serve.executor import BlockExecutor
@@ -161,29 +178,59 @@ class MatrixServer:
         job_workers: int = 1,
         request_deadline_ms: int | None = None,
         join_timeout: float = 5.0,
+        trace_log: str | Path | None = None,
     ):
         if request_deadline_ms is not None and request_deadline_ms < 1:
             raise ReproError(
                 f"request_deadline_ms must be >= 1, got {request_deadline_ms}"
             )
         self.registry = registry
-        self.stats = ServeStats()
+        # One metrics registry for the whole server: the matrix
+        # registry owns it, stats/jobs/handler all feed it, and
+        # ``GET /metrics`` renders it.
+        self.metrics = registry.metrics
+        self.stats = ServeStats(metrics=self.metrics)
         self.max_vectors = int(max_vectors)
         self.panel_width = int(panel_width)
         self.request_deadline_ms = request_deadline_ms
         self.join_timeout = float(join_timeout)
-        self.leaked_threads = 0
+        self._c_leaked_threads = Counter()
+        sink = (
+            open(trace_log, "a", encoding="utf-8")
+            if trace_log is not None
+            else None
+        )
+        self.traces = TraceStore(sink=sink)
+        self._c_http = self.metrics.counter(
+            "repro_http_responses_total",
+            "HTTP responses by route and status code.",
+            labels=("route", "status"),
+        )
+        self.metrics.gauge(
+            "repro_server_workers", "Block-level worker threads per request."
+        ).set(workers)
+        self.metrics.gauge(
+            "repro_build_info",
+            "Always 1; the version label carries the package version.",
+            labels=("version",),
+        ).labels(version=__version__).set(1)
         self.executor = BlockExecutor(workers) if workers > 1 else None
         self.jobs = JobManager(
             registry,
             executor=self.executor,
             workers=job_workers,
             join_timeout=join_timeout,
+            metrics=self.metrics,
+            traces=self.traces,
         )
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.daemon_threads = True
         self._httpd.app = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
+
+    @property
+    def leaked_threads(self) -> int:
+        return int(self._c_leaked_threads.value)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -224,7 +271,7 @@ class MatrixServer:
         if self._thread is not None:
             self._thread.join(timeout=self.join_timeout)
             if self._thread.is_alive():
-                self.leaked_threads += 1
+                self._c_leaked_threads.inc()
                 _LOG.warning(
                     "serve thread failed to stop within %.1fs and was "
                     "leaked", self.join_timeout,
@@ -233,6 +280,7 @@ class MatrixServer:
         self.jobs.close()
         if self.executor is not None:
             self.executor.shutdown()
+        self.traces.close()
 
     def __enter__(self) -> MatrixServer:
         return self
@@ -271,6 +319,21 @@ class MatrixServer:
                 404, "no store attached (server was started without --store)"
             )
         return info
+
+    def metrics_text(self) -> str:
+        """Answer ``GET /metrics``: the Prometheus text exposition."""
+        return render_prometheus(self.metrics)
+
+    def trace_payload(self, trace_id: str) -> dict:
+        """Answer ``GET /trace/<id>`` — 404 once evicted from the ring."""
+        payload = self.traces.payload(trace_id)
+        if payload is None:
+            raise _RequestError(
+                404,
+                f"unknown trace {trace_id!r} (retained: last "
+                f"{self.traces.capacity} requests)",
+            )
+        return payload
 
     def _request_deadline(self) -> Deadline | None:
         """A fresh deadline for one request (``None`` when unset)."""
@@ -361,10 +424,14 @@ class MatrixServer:
                         f"{self.max_vectors}; split the batch",
                     )
                 multiply = batch_right_multiply if op == "right" else batch_left_multiply
-                result = multiply(
-                    matrix, panel, executor=self.executor,
-                    panel_width=self.panel_width,
-                )
+                with span(
+                    "multiply.kernel", matrix=name, op=op,
+                    k=int(panel.shape[1]),
+                ):
+                    result = multiply(
+                        matrix, panel, executor=self.executor,
+                        panel_width=self.panel_width,
+                    )
             except _RequestError:
                 self.stats.record(name, None, error=True)
                 raise
@@ -456,6 +523,22 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1"
     protocol_version = "HTTP/1.1"
 
+    #: Route labels the HTTP-response counter may use; anything else is
+    #: folded into ``other`` so a path-scanning client cannot inflate
+    #: the metric's label cardinality.
+    _ROUTES = (
+        "/healthz",
+        "/jobs",
+        "/jobs/<id>",
+        "/matrices",
+        "/matrices/<name>",
+        "/metrics",
+        "/multiply",
+        "/stats",
+        "/store",
+        "/trace/<id>",
+    )
+
     @property
     def app(self) -> MatrixServer:
         return self.server.app  # type: ignore[attr-defined]
@@ -463,11 +546,19 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, *_args) -> None:  # stay quiet under pytest/CLI
         pass
 
+    def _send_common_headers(self, status: int) -> None:
+        self.send_response(status)
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header("X-Repro-Trace-Id", trace_id)
+        route = getattr(self, "_route", "other")
+        self.app._c_http.labels(route=route, status=str(status)).inc()
+
     def _respond(
         self, status: int, payload: dict, retry_after: float | None = None
     ) -> None:
         body = json.dumps(payload).encode()
-        self.send_response(status)
+        self._send_common_headers(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if retry_after is not None:
@@ -475,9 +566,38 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _guarded(self, fn, status: int = 200) -> None:
+    def _respond_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._send_common_headers(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _run_traced(self, fn, name: str) -> dict:
+        """Run one endpoint under a fresh request trace.
+
+        The trace is recorded into the server's ring *before* the
+        response is written (by the caller), so a client that reads
+        ``X-Repro-Trace-Id`` and immediately fetches ``/trace/<id>``
+        never races the recording.
+        """
+        trace = Trace(name=name)
+        trace.root.set("path", self.path)
+        self._trace_id = trace.trace_id
         try:
-            self._respond(status, fn())
+            with trace_scope(trace):
+                return fn()
+        except BaseException as exc:
+            trace.root.set("error", f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            self.app.traces.record(trace)
+
+    def _guarded(self, fn, status: int = 200, trace: str | None = None) -> None:
+        try:
+            payload = fn() if trace is None else self._run_traced(fn, trace)
+            self._respond(status, payload)
         except _RequestError as exc:
             self._respond(
                 exc.status, {"error": str(exc)}, retry_after=exc.retry_after
@@ -499,8 +619,22 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 — a request must not kill the server
             self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
 
+    def _begin_request(self, path: str) -> None:
+        """Reset per-request handler state (keep-alive reuses handlers)."""
+        self._trace_id: str | None = None
+        if path.startswith("/matrices/"):
+            route = "/matrices/<name>"
+        elif path.startswith("/jobs/"):
+            route = "/jobs/<id>"
+        elif path.startswith("/trace/"):
+            route = "/trace/<id>"
+        else:
+            route = path
+        self._route = route if route in self._ROUTES else "other"
+
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path = self.path.rstrip("/") or "/"
+        self._begin_request(path)
         if path == "/matrices":
             self._guarded(self.app.list_matrices)
         elif path.startswith("/matrices/"):
@@ -513,6 +647,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._guarded(lambda: self.app.job_detail(job_id))
         elif path == "/stats":
             self._guarded(self.app.stats_payload)
+        elif path == "/metrics":
+            try:
+                self._respond_text(
+                    200, self.app.metrics_text(), METRICS_CONTENT_TYPE
+                )
+            except Exception as exc:  # noqa: BLE001 — never kill the server
+                self._respond(500, {"error": f"{type(exc).__name__}: {exc}"})
+        elif path.startswith("/trace/"):
+            trace_id = path[len("/trace/") :]
+            self._guarded(lambda: self.app.trace_payload(trace_id))
         elif path == "/store":
             self._guarded(self.app.store_payload)
         elif path == "/healthz":
@@ -530,12 +674,19 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         path = self.path.rstrip("/")
+        self._begin_request(path)
         if path == "/multiply":
-            self._guarded(lambda: self.app.multiply(self._read_json_body()))
-        elif path == "/jobs":
-            # 202: the job is accepted and runs in the background.
             self._guarded(
-                lambda: self.app.submit_job(self._read_json_body()), status=202
+                lambda: self.app.multiply(self._read_json_body()),
+                trace="POST /multiply",
+            )
+        elif path == "/jobs":
+            # 202: the job is accepted and runs in the background.  The
+            # request trace covers submission only; the background run
+            # records separately under the job's own ``trace_id``.
+            self._guarded(
+                lambda: self.app.submit_job(self._read_json_body()),
+                status=202, trace="POST /jobs",
             )
         else:
             self._respond(404, {"error": f"unknown path {self.path!r}"})

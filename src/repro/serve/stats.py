@@ -9,8 +9,16 @@ current behaviour, not the whole process lifetime);
 :class:`ServeStats` maps matrix names to windows behind one lock.
 
 Everything here is stdlib + numpy and thread-safe: the HTTP server
-handles requests on a thread pool and records into the same
-:class:`ServeStats` from every worker.
+records into the same :class:`ServeStats` from every request thread,
+and :class:`LatencyWindow` carries its *own* lock because it is also
+used outside ``ServeStats`` — :class:`repro.solve.driver.SolveTrace`
+records into one from job worker threads directly.
+
+Counters live on :mod:`repro.obs.metrics` instruments; when the server
+hands :class:`ServeStats` a shared
+:class:`~repro.obs.metrics.MetricsRegistry`, every request also feeds
+the labeled ``repro_serve_*`` families ``GET /metrics`` exposes.  The
+``/stats`` JSON shape is unchanged either way.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import threading
 import numpy as np
 
 from repro.errors import MatrixFormatError
+from repro.obs.metrics import Counter, Family, MetricsRegistry
 
 #: Default ring capacity — enough for stable p99 estimates while
 #: keeping the per-matrix footprint at a few KiB.
@@ -30,30 +39,41 @@ REPORTED_PERCENTILES = (50.0, 90.0, 99.0)
 
 
 class LatencyWindow:
-    """A ring buffer of recent request latencies with percentile queries."""
+    """A ring buffer of recent request latencies with percentile queries.
+
+    Internally thread-safe: ``record`` and the read methods share one
+    lock, so concurrent recorders (job workers driving a
+    :class:`repro.solve.driver.SolveTrace`) can never interleave the
+    ring-write/advance/count triple and corrupt the window.
+    """
 
     def __init__(self, capacity: int = DEFAULT_WINDOW) -> None:
         if capacity < 1:
             raise MatrixFormatError(f"capacity must be >= 1, got {capacity}")
+        self._lock = threading.Lock()
         self._ring = np.zeros(capacity, dtype=np.float64)
         self._next = 0
         self._count = 0
 
     def record(self, seconds: float) -> None:
         """Append one latency observation (overwrites the oldest)."""
-        self._ring[self._next] = float(seconds)
-        self._next = (self._next + 1) % self._ring.size
-        self._count += 1
+        value = float(seconds)
+        with self._lock:
+            self._ring[self._next] = value
+            self._next = (self._next + 1) % self._ring.size
+            self._count += 1
 
     @property
     def count(self) -> int:
         """Total observations recorded (including aged-out ones)."""
-        return self._count
+        with self._lock:
+            return self._count
 
     def values(self) -> np.ndarray:
         """The retained observations (unordered), newest window only."""
-        retained = min(self._count, self._ring.size)
-        return self._ring[:retained].copy()
+        with self._lock:
+            retained = min(self._count, self._ring.size)
+            return self._ring[:retained].copy()
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile of the retained window (``nan`` if empty)."""
@@ -64,10 +84,12 @@ class LatencyWindow:
 
     def snapshot(self) -> dict[str, float]:
         """Summary dict: count, mean and the reported percentiles (ms)."""
-        vals = self.values()
+        with self._lock:
+            count = self._count
+            vals = self._ring[: min(count, self._ring.size)].copy()
         # Annotated explicitly: the literal would infer dict[str, int]
         # from the count and reject the float percentile entries below.
-        out: dict[str, float] = {"count": self._count}
+        out: dict[str, float] = {"count": count}
         if vals.size:
             out["mean_ms"] = float(vals.mean()) * 1000.0
             for q in REPORTED_PERCENTILES:
@@ -81,14 +103,22 @@ class MatrixStats:
     """Counters for one served matrix."""
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
-        self.requests = 0
-        self.errors = 0
+        self._requests = Counter()
+        self._errors = Counter()
         self.latency = LatencyWindow(window)
 
+    @property
+    def requests(self) -> int:
+        return int(self._requests.value)
+
+    @property
+    def errors(self) -> int:
+        return int(self._errors.value)
+
     def record(self, seconds: float | None, error: bool = False) -> None:
-        self.requests += 1
+        self._requests.inc()
         if error:
-            self.errors += 1
+            self._errors.inc()
         elif seconds is not None:
             self.latency.record(seconds)
 
@@ -102,12 +132,42 @@ class MatrixStats:
 
 
 class ServeStats:
-    """Thread-safe per-matrix statistics for the serving engine."""
+    """Thread-safe per-matrix statistics for the serving engine.
 
-    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+    ``metrics`` (optional) is the server's shared
+    :class:`~repro.obs.metrics.MetricsRegistry`; when given, every
+    recorded request also feeds the per-matrix
+    ``repro_serve_requests_total`` / ``repro_serve_errors_total``
+    counters and the ``repro_serve_request_seconds`` histogram.
+    """
+
+    def __init__(
+        self,
+        window: int = DEFAULT_WINDOW,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._window = int(window)
         self._lock = threading.Lock()
         self._per_matrix: dict[str, MatrixStats] = {}
+        self._families: tuple[Family, Family, Family] | None = None
+        if metrics is not None:
+            self._families = (
+                metrics.counter(
+                    "repro_serve_requests_total",
+                    "Multiply requests answered, by matrix.",
+                    labels=("matrix",),
+                ),
+                metrics.counter(
+                    "repro_serve_errors_total",
+                    "Multiply requests failed, by matrix.",
+                    labels=("matrix",),
+                ),
+                metrics.histogram(
+                    "repro_serve_request_seconds",
+                    "Multiply request latency in seconds, by matrix.",
+                    labels=("matrix",),
+                ),
+            )
 
     def record(self, name: str, seconds: float | None, error: bool = False) -> None:
         """Record one request against matrix ``name``."""
@@ -116,6 +176,13 @@ class ServeStats:
             if stats is None:
                 stats = self._per_matrix[name] = MatrixStats(self._window)
             stats.record(seconds, error=error)
+        if self._families is not None:
+            requests, errors, seconds_hist = self._families
+            requests.labels(matrix=name).inc()
+            if error:
+                errors.labels(matrix=name).inc()
+            elif seconds is not None:
+                seconds_hist.labels(matrix=name).observe(seconds)
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """``{matrix name: summary dict}`` for every matrix seen so far."""

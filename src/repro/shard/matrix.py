@@ -40,6 +40,8 @@ from repro.errors import (
     ShardUnavailableError,
 )
 from repro.formats.base import MatrixFormat
+from repro.obs.metrics import Counter
+from repro.obs.trace import activate_context, add_event, capture_context, span
 from repro.resilience import faults as _faults
 from repro.resilience.policy import (
     STATE_CLOSED,
@@ -128,9 +130,17 @@ class _ShardFanout(MatrixFormat):
             return executor.map_blocks(fn, self._all_shards())
         if threads > 1 and self.n_shards > 1:
             shards = self._all_shards()
+            # Carry the ambient trace onto the pool threads so per-shard
+            # spans attach to the submitting request.
+            ctx = capture_context()
+
+            def _traced(shard: object, i: int) -> object:
+                with activate_context(ctx):
+                    return fn(shard, i)
+
             with ThreadPoolExecutor(max_workers=threads) as pool:
                 futures = [
-                    pool.submit(fn, s, i) for i, s in enumerate(shards)
+                    pool.submit(_traced, s, i) for i, s in enumerate(shards)
                 ]
                 return [f.result() for f in futures]
         results = []
@@ -403,10 +413,30 @@ class LazyShardedMatrix(_ShardFanout):
         self._breakers: dict[int, CircuitBreaker] = {}
         self._mmap = bool(mmap)
         self._view: memoryview | None = None
-        self.shard_loads = 0
-        self.shard_evictions = 0
-        self.shard_retries = 0
-        self.shard_failures = 0
+        # Standalone obs counters (not registered with any metrics
+        # registry): the serving registry aggregates them across live
+        # and whole-evicted matrices at scrape time, so registering the
+        # raw values too would double-count.
+        self._shard_loads = Counter()
+        self._shard_evictions = Counter()
+        self._shard_retries = Counter()
+        self._shard_failures = Counter()
+
+    @property
+    def shard_loads(self) -> int:
+        return int(self._shard_loads.value)
+
+    @property
+    def shard_evictions(self) -> int:
+        return int(self._shard_evictions.value)
+
+    @property
+    def shard_retries(self) -> int:
+        return int(self._shard_retries.value)
+
+    @property
+    def shard_failures(self) -> int:
+        return int(self._shard_failures.value)
 
     # -- shard loading and eviction ---------------------------------------------------
 
@@ -526,53 +556,62 @@ class LazyShardedMatrix(_ShardFanout):
             self._last_use[i] = self._tick
             shard = self._loaded.get(i)
             if shard is not None:
+                # Warm path: no span — the request-level span already
+                # covers it, and per-hit span churn would show up in
+                # the obs_overhead gate.
                 return shard
         check_deadline(f"shard {i} load of {self._path}")
-        breaker = self.shard_breaker(i)
-        try:
-            breaker.allow()
-        except CircuitOpenError as exc:
-            raise ShardUnavailableError(
-                f"shard {i} of {self._path} is quarantined: {exc}",
-                shard=i,
-                retry_after=exc.retry_after,
-            ) from exc
+        with span("shard.load", shard=i, mmap=self._mmap):
+            breaker = self.shard_breaker(i)
+            try:
+                breaker.allow()
+            except CircuitOpenError as exc:
+                raise ShardUnavailableError(
+                    f"shard {i} of {self._path} is quarantined: {exc}",
+                    shard=i,
+                    retry_after=exc.retry_after,
+                ) from exc
 
-        def _count_retry(_attempt: int, _exc: BaseException) -> None:
-            self.shard_retries += 1
+            def _count_retry(attempt: int, exc: BaseException) -> None:
+                self._shard_retries.inc()
+                add_event(
+                    "load.retry",
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
 
-        try:
-            shard = self._retry.run(
-                lambda: self._load_shard(i),
-                retry_on=(OSError,),
-                no_retry=(DeadlineExceededError,),
-                on_retry=_count_retry,
-                label=f"shard {i} load of {self._path}",
-            )
-        except DeadlineExceededError:
-            # The *request* ran out of budget — not the shard's fault;
-            # the breaker only counts failures of the shard itself.
-            raise
-        except (ReproError, OSError) as exc:
-            breaker.record_failure()
-            self.shard_failures += 1
-            raise ShardUnavailableError(
-                f"shard {i} of {self._path} failed to load: "
-                f"{type(exc).__name__}: {exc}",
-                shard=i,
-                retry_after=breaker.retry_after(),
-            ) from exc
-        breaker.record_success()
-        if self._retain_plans:
-            shard.enable_plan_retention(True)
-        with self._lock:
-            # A concurrent load of the same shard may have won.
-            existing = self._loaded.get(i)
-            if existing is not None:
-                return existing
-            self._loaded[i] = shard
-            self.shard_loads += 1
-            return shard
+            try:
+                shard = self._retry.run(
+                    lambda: self._load_shard(i),
+                    retry_on=(OSError,),
+                    no_retry=(DeadlineExceededError,),
+                    on_retry=_count_retry,
+                    label=f"shard {i} load of {self._path}",
+                )
+            except DeadlineExceededError:
+                # The *request* ran out of budget — not the shard's fault;
+                # the breaker only counts failures of the shard itself.
+                raise
+            except (ReproError, OSError) as exc:
+                breaker.record_failure()
+                self._shard_failures.inc()
+                raise ShardUnavailableError(
+                    f"shard {i} of {self._path} failed to load: "
+                    f"{type(exc).__name__}: {exc}",
+                    shard=i,
+                    retry_after=breaker.retry_after(),
+                ) from exc
+            breaker.record_success()
+            if self._retain_plans:
+                shard.enable_plan_retention(True)
+            with self._lock:
+                # A concurrent load of the same shard may have won.
+                existing = self._loaded.get(i)
+                if existing is not None:
+                    return existing
+                self._loaded[i] = shard
+                self._shard_loads.inc()
+                return shard
 
     def _all_shards(self) -> list:
         return [self._shard(i) for i in range(self.n_shards)]
@@ -603,7 +642,7 @@ class LazyShardedMatrix(_ShardFanout):
                 victim = min(self._loaded, key=lambda i: self._last_use[i])
                 shard = self._loaded.pop(victim)
                 shard.release_retained_plans()
-                self.shard_evictions += 1
+                self._shard_evictions.inc()
                 evicted += 1
         return evicted
 

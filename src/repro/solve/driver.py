@@ -22,6 +22,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.errors import SolveError
+from repro.obs.trace import span
 from repro.resilience.policy import check_deadline
 from repro.serve.stats import LatencyWindow
 
@@ -175,20 +176,27 @@ def iterate(
     tol = check_tol(tol)
     trace = SolveTrace()
     converged = False
-    for k in range(iterations):
-        check_deadline(f"solver iteration {k}")
-        start = time.perf_counter()
-        try:
-            residual = float(step(k))
-        except StopIteration:
-            break
-        trace.record(residual, time.perf_counter() - start)
-        if callback is not None:
+    # One span for the whole loop with one ring-capped event per
+    # iteration — not a span per iteration, which would bloat the trace
+    # of a thousand-round solve.
+    with span("solve.iterate", max_iterations=iterations, tol=tol) as sp:
+        for k in range(iterations):
+            check_deadline(f"solver iteration {k}")
+            start = time.perf_counter()
             try:
-                callback(k, residual)
+                residual = float(step(k))
             except StopIteration:
                 break
-        if tol is not None and residual <= tol:
-            converged = True
-            break
+            trace.record(residual, time.perf_counter() - start)
+            sp.add_event("iteration", k=k, residual=float(residual))
+            if callback is not None:
+                try:
+                    callback(k, residual)
+                except StopIteration:
+                    break
+            if tol is not None and residual <= tol:
+                converged = True
+                break
+        sp.set("iterations", len(trace))
+        sp.set("converged", converged)
     return trace, converged

@@ -42,7 +42,7 @@ class TestResolveRules:
 
     def test_disable_drops(self):
         rules = resolve_rules(disable=["RA01", "RA02"])
-        assert rules == ("RA03", "RA04", "RA05", "RA06", "RA07", "RA08")
+        assert rules == ("RA03", "RA04", "RA05", "RA06", "RA07", "RA08", "RA09")
 
     def test_unknown_rule_raises(self):
         with pytest.raises(ReproError, match="unknown rule"):

@@ -1,0 +1,115 @@
+"""RA09 — serve/shard/resilience counters go through ``repro.obs``."""
+
+from repro.analyze.engine import ALL_RULES
+from repro.analyze.findings import RULE_WAIVER_TAGS
+from repro.analyze.rules_ast import (
+    AST_RULES,
+    COUNTER_DISCIPLINE_DIRS,
+    check_counter_discipline,
+)
+
+from tests.analyze.conftest import make_source
+
+AD_HOC_COUNTER = """
+class Registry:
+    def get(self, name):
+        self.hits += 1
+        return self._entries[name]
+"""
+
+WAIVED_COUNTER = """
+class Breaker:
+    def record_failure(self):
+        self.opens += 1  # ra: obs — per-instance tally aggregated at scrape time
+"""
+
+PRIVATE_ACCUMULATOR = """
+class Registry:
+    def _absorb(self, matrix):
+        self._shard_loads_absorbed += matrix.shard_loads
+"""
+
+OBS_COUNTER_PROPERTY = """
+class Registry:
+    def get(self, name):
+        self._c_hits.inc()
+        return self._entries[name]
+
+    @property
+    def hits(self):
+        return int(self._c_hits.value)
+"""
+
+NON_COUNTER_ARITHMETIC = """
+class Window:
+    def record(self, seconds):
+        self.total_seconds += seconds
+        self.offset += self.stride
+"""
+
+FLOAT_COUNTER = """
+class Pool:
+    def lease(self):
+        self.leases += 1.0
+"""
+
+
+class TestCounterDiscipline:
+    def test_flags_public_increment_in_serve(self):
+        findings = check_counter_discipline(
+            make_source(AD_HOC_COUNTER, rel="src/repro/serve/registry.py")
+        )
+        assert [f.rule for f in findings] == ["RA09"]
+        assert findings[0].detail == "hits"
+        assert findings[0].scope == "Registry.get"
+        assert "repro.obs" in findings[0].message
+
+    def test_float_increment_is_still_a_counter(self):
+        findings = check_counter_discipline(
+            make_source(FLOAT_COUNTER, rel="src/repro/shard/matrix.py")
+        )
+        assert [f.detail for f in findings] == ["leases"]
+
+    def test_waiver_suppresses(self):
+        findings = check_counter_discipline(
+            make_source(WAIVED_COUNTER, rel="src/repro/resilience/policy.py")
+        )
+        assert findings == []
+
+    def test_private_accumulators_exempt(self):
+        findings = check_counter_discipline(
+            make_source(PRIVATE_ACCUMULATOR, rel="src/repro/serve/registry.py")
+        )
+        assert findings == []
+
+    def test_obs_backed_property_is_clean(self):
+        findings = check_counter_discipline(
+            make_source(OBS_COUNTER_PROPERTY, rel="src/repro/serve/registry.py")
+        )
+        assert findings == []
+
+    def test_non_constant_increments_exempt(self):
+        findings = check_counter_discipline(
+            make_source(NON_COUNTER_ARITHMETIC, rel="src/repro/serve/stats.py")
+        )
+        assert findings == []
+
+    def test_out_of_scope_paths_exempt(self):
+        for rel in (
+            "src/repro/core/multiply.py",
+            "src/repro/obs/trace.py",
+            "src/repro/solve/driver.py",
+        ):
+            assert check_counter_discipline(
+                make_source(AD_HOC_COUNTER, rel=rel)
+            ) == []
+
+    def test_scope_dirs_cover_the_instrumented_layers(self):
+        assert COUNTER_DISCIPLINE_DIRS == ("serve/", "shard/", "resilience/")
+
+
+class TestRegistration:
+    def test_rule_is_wired_into_the_engine(self):
+        assert "RA09" in ALL_RULES
+        assert AST_RULES["RA09"] is check_counter_discipline
+        assert RULE_WAIVER_TAGS["RA09"] == "obs"

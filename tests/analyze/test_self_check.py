@@ -44,4 +44,5 @@ class TestSelfCheck:
         assert report.files_scanned > 50
         assert report.rules == (
             "RA01", "RA02", "RA03", "RA04", "RA05", "RA06", "RA07", "RA08",
+            "RA09",
         )

@@ -1,0 +1,176 @@
+"""Trace-context carriage across executor hops.
+
+Thread pools receive the live trace object, so worker spans join the
+submitting request's tree as children of the submitting span.  Process
+pools cannot (pickling drops the object), so the worker degrades to a
+fresh root trace carrying the parent's trace id with
+``degraded=True`` — the documented downgrade, asserted here.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import BlockedMatrix
+from repro.obs.trace import (
+    Trace,
+    TraceContext,
+    activate_context,
+    capture_context,
+    current_trace,
+    span,
+    trace_scope,
+)
+from repro.serve.executor import BlockExecutor, _call_in_context
+from tests.conftest import make_structured
+
+
+class TestCaptureContext:
+    def test_untraced_capture_is_none(self):
+        assert capture_context() is None
+
+    def test_capture_snapshots_innermost_span(self):
+        trace = Trace(name="t")
+        with trace_scope(trace), span("submitting") as sp:
+            ctx = capture_context()
+        assert ctx.trace_id == trace.trace_id
+        assert ctx.span_id == sp.span_id
+        assert ctx.trace is trace
+
+    def test_pickle_drops_the_live_trace(self):
+        trace = Trace(name="t")
+        with trace_scope(trace):
+            ctx = capture_context()
+        carried = pickle.loads(pickle.dumps(ctx))
+        assert carried.trace is None
+        assert carried.trace_id == trace.trace_id
+        assert carried.span_id == ctx.span_id
+
+
+class TestActivateContext:
+    def test_none_context_stays_untraced(self):
+        with activate_context(None) as scoped:
+            assert scoped is None
+            assert current_trace() is None
+
+    def test_live_context_attaches_to_the_original_trace(self):
+        trace = Trace(name="t")
+        with trace_scope(trace), span("submitting") as sp:
+            ctx = capture_context()
+
+        def worker():
+            with activate_context(ctx):
+                assert current_trace() is trace
+                with span("worker.task"):
+                    pass
+
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            pool.submit(worker).result()
+        names = trace.span_names()
+        assert "worker.task" in names
+        worker_span = next(
+            s
+            for s in trace.to_payload()["spans"]
+            if s["name"] == "worker.task"
+        )
+        assert worker_span["parent_id"] == sp.span_id
+
+    def test_pickled_context_degrades_to_fresh_root(self):
+        trace = Trace(name="job pagerank")
+        with trace_scope(trace):
+            ctx = pickle.loads(pickle.dumps(capture_context()))
+        with activate_context(ctx) as degraded:
+            assert degraded is not trace
+            assert degraded.trace_id == trace.trace_id
+            assert degraded.degraded is True
+            with span("worker.task"):
+                pass
+        # The child span stays in the degraded trace, not the parent's.
+        assert "worker.task" in degraded.span_names()
+        assert "worker.task" not in trace.span_names()
+        assert degraded.duration is not None
+
+    def test_call_in_context_shim_runs_fn_under_the_scope(self):
+        trace = Trace(name="t")
+        with trace_scope(trace):
+            ctx = capture_context()
+        result = _call_in_context(ctx, lambda v: (current_trace(), v), 7)
+        assert result == (trace, 7)
+        assert _call_in_context(None, lambda: current_trace()) is None
+
+
+@pytest.fixture
+def blocked(rng):
+    dense = make_structured(rng, n=48, m=10)
+    return BlockedMatrix.compress(dense, variant="re_32", n_blocks=3), dense
+
+
+class TestExecutorCarriage:
+    def test_thread_pool_blocks_join_the_request_trace(self, blocked):
+        matrix, dense = blocked
+        trace = Trace(name="POST /multiply")
+        with BlockExecutor(workers=3, kind="thread") as executor:
+            with trace_scope(trace):
+                results = executor.map_blocks(
+                    lambda b, i: _traced_block(b, i), matrix.blocks
+                )
+        assert [i for i, _ in results] == [0, 1, 2]
+        assert all(t is trace for _, t in results)
+        assert trace.span_names().count("block") == 3
+
+    def test_untraced_thread_pool_stays_untraced(self, blocked):
+        matrix, _ = blocked
+        with BlockExecutor(workers=3, kind="thread") as executor:
+            results = executor.map_blocks(
+                lambda b, i: current_trace(), matrix.blocks
+            )
+        assert results == [None, None, None]
+
+    def test_process_pool_multiply_matches_and_degrades(self, blocked):
+        matrix, dense = blocked
+        x = np.arange(dense.shape[1], dtype=np.float64)
+        trace = Trace(name="POST /multiply")
+        with BlockExecutor(workers=2, kind="process") as executor:
+            with trace_scope(trace):
+                y = executor.right_multiply(matrix, x)
+        np.testing.assert_allclose(y, dense @ x, rtol=1e-10)
+        # Worker spans stay in the worker processes: the submitting
+        # trace records nothing beyond its root, by design.
+        assert trace.span_names() == ["POST /multiply"]
+
+    def test_process_worker_sees_degraded_root(self, blocked):
+        matrix, _ = blocked
+        trace = Trace(name="POST /multiply")
+        with BlockExecutor(workers=2, kind="process") as executor:
+            with trace_scope(trace):
+                ctx = capture_context()
+                infos = executor._starmap(
+                    _describe_ambient_trace, [(ctx,)] * 2
+                )
+        for info in infos:
+            assert info["trace_id"] == trace.trace_id
+            assert info["degraded"] is True
+            assert info["is_parent_object"] is False
+
+
+def _traced_block(block, i: int):
+    with span("block", i=i):
+        return i, current_trace()
+
+
+def _describe_ambient_trace(ctx):
+    """Process-pool worker: report what activate_context established.
+
+    Module-level so the process pool can pickle it; ``ctx`` arrives
+    already stripped of its live trace reference.
+    """
+    with activate_context(ctx) as scoped:
+        return {
+            "trace_id": scoped.trace_id,
+            "degraded": scoped.degraded,
+            "is_parent_object": scoped is ctx.trace,
+        }

@@ -1,0 +1,81 @@
+"""/stats byte-compatibility: the obs migration must not change the JSON shape.
+
+``tests/obs/fixtures/stats_shape.json`` records the key structure and
+value kinds of the ``/stats`` payload as produced *before* the counters
+moved onto :class:`repro.obs.metrics.MetricsRegistry`.  Dashboards and
+scripts parse this payload; migrating the backing store must be
+invisible to them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import formats
+from repro.io.serialize import save_matrix
+from repro.serve.registry import MatrixRegistry
+from repro.serve.server import MatrixServer
+from repro.shard.matrix import build_sharded
+
+FIXTURE = Path(__file__).parent / "fixtures" / "stats_shape.json"
+
+
+def shape_of(value):
+    """Key structure + scalar kind of a JSON payload (values erased)."""
+    if isinstance(value, dict):
+        return {k: shape_of(v) for k, v in sorted(value.items())}
+    if isinstance(value, list):
+        return ["list", shape_of(value[0])] if value else ["list"]
+    if isinstance(value, bool):
+        return "bool"
+    if value is None:
+        return "none"
+    if isinstance(value, (int, float)):
+        return "number"
+    return type(value).__name__
+
+
+@pytest.fixture
+def stats_payload(tmp_path):
+    """The /stats payload after the same traffic the fixture recorded."""
+    rng = np.random.default_rng(5)
+    dense = rng.random((24, 10)).round(4) + 0.1
+    save_matrix(formats.compress(dense, format="dense"), tmp_path / "plain.gcmx")
+    web = rng.random((30, 30)).round(4) + 0.1
+    save_matrix(build_sharded(web, n_shards=3), tmp_path / "web.gcmx")
+    registry = MatrixRegistry(root=tmp_path)
+    server = MatrixServer(registry, port=0, job_workers=1).start()
+    try:
+        server.multiply({"matrix": "plain", "vectors": [1.0] * 10})
+        server.multiply({"matrix": "web", "vectors": [1.0] * 30})
+        job = server.jobs.submit("pagerank", "web", {"iterations": 5, "tol": None})
+        for _ in range(200):
+            if job.finished:
+                break
+            time.sleep(0.05)
+        assert job.status == "done", (job.status, job.error)
+        yield server.stats_payload()
+    finally:
+        server.close()
+
+
+class TestStatsShape:
+    def test_shape_matches_pre_obs_fixture(self, stats_payload):
+        recorded = json.loads(FIXTURE.read_text())
+        assert shape_of(stats_payload) == recorded
+
+    def test_counters_carry_real_values(self, stats_payload):
+        registry = stats_payload["registry"]
+        assert registry["loads"] >= 2
+        assert registry["hits"] + registry["misses"] >= 2
+        assert registry["shard_loads"] >= 3
+        matrices = stats_payload["matrices"]
+        assert matrices["plain"]["requests"] == 1
+        assert matrices["web"]["requests"] >= 1
+        assert stats_payload["jobs"]["submitted"] == 1
+        assert stats_payload["jobs"]["completed"] == 1

@@ -38,6 +38,39 @@ class TestLatencyWindow:
         with pytest.raises(MatrixFormatError):
             LatencyWindow(capacity=0)
 
+    def test_concurrent_record_and_snapshot(self):
+        """8 threads hammering one window: no lost counts, no torn reads.
+
+        ``record`` writes the ring slot and advances the cursor while
+        ``snapshot`` copies the ring — unsynchronised, the count drifts
+        below 8×500 and the percentile math can see half-written state.
+        """
+        window = LatencyWindow(capacity=64)
+        barrier = threading.Barrier(8)
+        snapshots = []
+
+        def hammer(worker: int):
+            barrier.wait()
+            for i in range(500):
+                window.record((worker * 500 + i + 1) / 1e6)
+                if i % 50 == 0:
+                    snap = window.snapshot()
+                    snapshots.append((snap["count"], snap.get("p50_ms")))
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert window.count == 8 * 500
+        assert len(window.values()) == 64
+        for count, p50 in snapshots:
+            assert count >= 1
+            if count:
+                assert p50 is not None and p50 > 0
+
 
 class TestMatrixStats:
     def test_errors_not_counted_in_latency(self):
